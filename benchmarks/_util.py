@@ -1,0 +1,25 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one artifact of the paper (table or figure),
+asserts its qualitative shape, and archives the rendered output under
+``benchmarks/results/`` so EXPERIMENTS.md can quote it.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def save_artifact(name: str, text: str) -> Path:
+    """Write a rendered table/chart to ``benchmarks/results/<name>.txt``."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    return path
+
+
+def series_end(figure, strategy: str, metric: str = "global") -> float:
+    """Miss ratio of ``strategy`` at the last (highest) x value."""
+    return figure.sweep.series(strategy, metric)[-1]

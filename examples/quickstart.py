@@ -1,0 +1,51 @@
+"""Quickstart: compare SDA strategies on the paper's baseline system.
+
+Runs the Table 1 baseline (6 nodes, EDF schedulers, 75% local load, serial
+global tasks of 4 subtasks) under each SSP strategy and prints the local
+and global miss ratios -- a one-screen reproduction of the paper's headline
+result: UD starves global tasks, EQF nearly equalizes the two classes.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import Simulation, baseline_config
+from repro.stats.tables import format_percent, render_table
+
+
+def main() -> None:
+    rows = []
+    for strategy in ("UD", "ED", "EQS", "EQF"):
+        config = baseline_config(
+            strategy=strategy,
+            sim_time=30_000.0,
+            warmup_time=3_000.0,
+            seed=42,
+        )
+        result = Simulation(config).run()
+        rows.append(
+            [
+                strategy,
+                format_percent(result.md_local),
+                format_percent(result.md_global),
+                format_percent(result.md_global - result.md_local),
+                f"{result.mean_utilization:.3f}",
+            ]
+        )
+    print(
+        render_table(
+            ["strategy", "MD_local", "MD_global", "gap", "utilization"],
+            rows,
+            title="Baseline experiment (load 0.5, serial global tasks of 4 subtasks)",
+        )
+    )
+    print()
+    print("Expected shape (paper Fig. 2): MD_global(UD) ~ 40% vs MD_local ~ 24%;")
+    print("EQF shrinks the gap to a few points at a tiny local cost.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""Trace a tiny system to *see* why UD starves global tasks.
+
+Runs a 3-node system for 60 time units under UD and under EQF with
+execution tracing enabled, then prints each node's Gantt chart and the
+lifecycle of the global subtasks.  At this microscope scale you can watch
+the mechanism the paper describes: under UD an early-stage subtask sits in
+the queue behind local tasks (its virtual deadline is the distant global
+one), eating the slack its successors needed.
+
+Run with::
+
+    python examples/trace_debugging.py
+"""
+
+from __future__ import annotations
+
+from repro.system.config import baseline_config
+from repro.system.simulation import Simulation
+
+
+def trace_run(strategy: str):
+    config = baseline_config(
+        strategy=strategy,
+        node_count=3,
+        subtask_count=3,
+        load=0.7,             # enough contention to make queues visible
+        sim_time=60.0,
+        warmup_time=0.0,
+        trace=True,
+        seed=20,
+    )
+    sim = Simulation(config)
+    result = sim.run()
+    return sim, result
+
+
+def waiting_summary(log):
+    """Mean queueing delay of global subtasks vs local tasks in the trace."""
+    waits = {"local": [], "global": []}
+    submitted = {}
+    for event in log.events:
+        key = (event.unit_name, event.node_index)
+        if event.kind == "submit":
+            submitted[key] = event.time
+        elif event.kind == "dispatch" and key in submitted:
+            waits[event.task_class].append(event.time - submitted.pop(key))
+    return {
+        cls: (sum(values) / len(values) if values else 0.0)
+        for cls, values in waits.items()
+    }
+
+
+def main() -> None:
+    for strategy in ("UD", "EQF"):
+        sim, result = trace_run(strategy)
+        log = sim.trace_log
+        print(f"=== strategy {strategy} "
+              f"(MD_local={result.md_local:.0%}, MD_global={result.md_global:.0%}) ===")
+        print(log.render_timeline(node_count=3, width=66))
+        waits = waiting_summary(log)
+        print(f"mean queueing delay: local {waits['local']:.2f}  "
+              f"global subtask {waits['global']:.2f}")
+        print()
+        print("global subtask lifecycle (first 12 events):")
+        globals_only = [e for e in log.events if e.task_class == "global"]
+        for event in globals_only[:12]:
+            print(f"  {event}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

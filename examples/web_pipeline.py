@@ -1,0 +1,143 @@
+"""A modern reading of the SDA problem: end-to-end latency SLOs in a
+microservice fan-out.
+
+A request to a web application touches an API gateway, then fans out to
+independent backend services (recommendations, inventory, pricing), then
+renders.  Each backend has its own queue and scheduler -- exactly the
+paper's "open system" of independent components -- and the product team
+specifies one end-to-end latency SLO per request class.
+
+This example shows how the paper's machinery answers an operational
+question: *which per-service deadline should the gateway stamp on its
+backend calls so that deadline-aware service queues respect the end-to-end
+SLO?*  It compares:
+
+* UD   -- every backend call carries the whole SLO (naive);
+* DIV-1 -- the fan-out window is split by the number of parallel calls;
+* GF   -- request work always preempts (in queue order) batch work.
+
+Each backend also runs deadline-insensitive *batch* jobs (the "local
+tasks"), so request subtasks must compete for the queue.
+
+Run with::
+
+    python examples/web_pipeline.py
+"""
+
+from __future__ import annotations
+
+from repro.core.strategies import parse_assigner
+from repro.core.task import SimpleTask, parallel, serial
+from repro.sim.core import Environment
+from repro.sim.distributions import Exponential, Uniform, exponential_interarrival
+from repro.sim.rng import StreamFactory
+from repro.stats.tables import format_percent, render_table
+from repro.system.metrics import MetricsCollector
+from repro.system.node import Node
+from repro.system.process_manager import ProcessManager
+from repro.system.schedulers import get_policy
+from repro.system.workload import LocalTaskSource
+
+# One simulated time unit = one millisecond.
+SLO_MS = 250.0
+REQUEST_RATE = 1.0 / 90.0       # one request per 90 ms
+SIM_MS = 600_000.0
+WARMUP_MS = 60_000.0
+
+GATEWAY, RECS, INVENTORY, PRICING, RENDERER = range(5)
+
+GATEWAY_MS = 5.0
+BACKEND_MS = {RECS: 45.0, INVENTORY: 25.0, PRICING: 20.0}
+RENDER_MS = 15.0
+
+
+def build_request(streams: StreamFactory):
+    draw = streams.get("request-execution")
+    backends = parallel(
+        *[
+            SimpleTask(Exponential(mean).sample(draw), node_index=node,
+                       name=f"svc-{node}")
+            for node, mean in BACKEND_MS.items()
+        ],
+        name="fan-out",
+    )
+    return serial(
+        SimpleTask(Exponential(GATEWAY_MS).sample(draw),
+                   node_index=GATEWAY, name="gateway"),
+        backends,
+        SimpleTask(Exponential(RENDER_MS).sample(draw),
+                   node_index=RENDERER, name="render"),
+        name="request",
+    )
+
+
+def run_service(strategy: str, seed: int = 11):
+    env = Environment()
+    streams = StreamFactory(seed)
+    metrics = MetricsCollector(node_count=5)
+    nodes = [
+        Node(env=env, index=i, policy=get_policy("EDF"), metrics=metrics)
+        for i in range(5)
+    ]
+    manager = ProcessManager(
+        env=env, nodes=nodes, assigner=parse_assigner(strategy), metrics=metrics
+    )
+
+    # Batch/maintenance jobs on the backend nodes: bigger, loose deadlines,
+    # ~25% utilization each (the recommendations node then runs at ~75%).
+    for node_index in (RECS, INVENTORY, PRICING):
+        LocalTaskSource(
+            env=env,
+            node=nodes[node_index],
+            interarrival=exponential_interarrival(1.0 / 120.0),
+            execution=Exponential(30.0),
+            slack=Uniform(50.0, 400.0),
+            streams=streams,
+        )
+
+    def frontend():
+        arrival_stream = streams.get("request-arrivals")
+        interarrival = exponential_interarrival(REQUEST_RATE)
+        while True:
+            yield env.timeout(interarrival.sample(arrival_stream))
+            manager.submit(build_request(streams), deadline=env.now + SLO_MS)
+
+    env.process(frontend())
+    env.run(until=WARMUP_MS)
+    metrics.reset(env.now)
+    env.run(until=SIM_MS)
+    return metrics.snapshot(env.now)
+
+
+def main() -> None:
+    rows = []
+    for strategy in ("UD", "DIV-1", "GF"):
+        result = run_service(strategy)
+        rows.append(
+            [
+                strategy,
+                result.global_.completed,
+                format_percent(1.0 - result.md_global),
+                f"{result.global_.mean_response:.0f} ms",
+                format_percent(result.md_local),
+            ]
+        )
+    print(
+        render_table(
+            ["strategy", "requests", "SLO met", "mean latency", "batch MD"],
+            rows,
+            title=(
+                f"Microservice fan-out with a {SLO_MS:.0f} ms end-to-end SLO "
+                "(gateway -> 3 parallel backends -> render)"
+            ),
+        )
+    )
+    print()
+    print("Expected shape (paper Sec. 5): UD lets batch jobs with nearer")
+    print("deadlines outrank request subtasks; DIV-1 splits the SLO across the")
+    print("fan-out and recovers most misses; GF is the aggressive endpoint,")
+    print("buying request latency at the batch jobs' expense.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Legacy setup shim: the offline environment lacks the `wheel` package,
+so PEP 517 editable installs cannot build; this enables `setup.py develop`."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,89 @@
+"""repro — reproduction of Kao & Garcia-Molina,
+"Deadline Assignment in a Distributed Soft Real-Time System" (ICDCS 1993).
+
+The package implements the subtask deadline assignment (SDA) problem end to
+end: a discrete-event simulation kernel (:mod:`repro.sim`), the
+serial-parallel task model and the SSP/PSP strategies
+(:mod:`repro.core`), the distributed system model with independent
+per-node schedulers (:mod:`repro.system`), statistics utilities
+(:mod:`repro.stats`), and the experiment harness that regenerates every
+figure of the paper (:mod:`repro.experiments`).
+
+Quickstart::
+
+    from repro import Simulation, baseline_config
+
+    result = Simulation(baseline_config(strategy="EQF", load=0.5)).run()
+    print(f"MD_local  = {result.md_local:.1%}")
+    print(f"MD_global = {result.md_global:.1%}")
+"""
+
+from .core import (
+    LocalTask,
+    ParallelTask,
+    SerialTask,
+    SimpleTask,
+    TaskClass,
+    TaskNode,
+    TimingRecord,
+    chain_of,
+    fan_of,
+    parallel,
+    parse,
+    serial,
+)
+from .core.strategies import (
+    PAPER_COMBINATIONS,
+    DeadlineAssigner,
+    DivX,
+    EffectiveDeadline,
+    EqualFlexibility,
+    EqualSlack,
+    GlobalsFirst,
+    UltimateDeadline,
+    UltimateDeadlineParallel,
+    parse_assigner,
+)
+from .system import (
+    RunResult,
+    Simulation,
+    SystemConfig,
+    baseline_config,
+    parallel_baseline_config,
+    serial_parallel_config,
+    simulate,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DeadlineAssigner",
+    "DivX",
+    "EffectiveDeadline",
+    "EqualFlexibility",
+    "EqualSlack",
+    "GlobalsFirst",
+    "LocalTask",
+    "PAPER_COMBINATIONS",
+    "ParallelTask",
+    "RunResult",
+    "SerialTask",
+    "SimpleTask",
+    "Simulation",
+    "SystemConfig",
+    "TaskClass",
+    "TaskNode",
+    "TimingRecord",
+    "UltimateDeadline",
+    "UltimateDeadlineParallel",
+    "baseline_config",
+    "chain_of",
+    "fan_of",
+    "parallel",
+    "parallel_baseline_config",
+    "parse",
+    "parse_assigner",
+    "serial",
+    "serial_parallel_config",
+    "simulate",
+]

@@ -1,0 +1,157 @@
+"""Command-line interface: list and run the paper's experiments.
+
+Usage::
+
+    repro-experiments list
+    repro-experiments table1
+    repro-experiments run Fig2 --scale quick
+    repro-experiments run V6 --scale smoke
+    repro-experiments simulate --strategy EQF --load 0.5 --structure serial
+
+Every experiment id in ``repro-experiments list`` maps to one table/figure
+of the paper (see DESIGN.md's experiment index).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .experiments.figures import FigureResult
+from .experiments.registry import EXPERIMENTS, get_experiment
+from .experiments.runner import SCALES
+from .experiments.variations import VariationResult
+from .stats.tables import format_percent, render_table
+from .system.config import (
+    SystemConfig,
+    baseline_config,
+    verify_load_arithmetic,
+)
+from .system.simulation import Simulation
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point for the ``repro-experiments`` console script."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    handler = {
+        "list": _cmd_list,
+        "table1": _cmd_table1,
+        "run": _cmd_run,
+        "simulate": _cmd_simulate,
+    }[args.command]
+    return handler(args)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description=(
+            "Reproduce Kao & Garcia-Molina, 'Deadline Assignment in a "
+            "Distributed Soft Real-Time System' (ICDCS 1993)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list all reproducible experiments")
+    sub.add_parser("table1", help="print the Table 1 baseline settings")
+
+    run = sub.add_parser("run", help="run one experiment by id (e.g. Fig2)")
+    run.add_argument("experiment_id", help="experiment id from 'list'")
+    run.add_argument(
+        "--scale",
+        choices=sorted(SCALES),
+        default="quick",
+        help="run length preset (default: quick)",
+    )
+
+    simulate = sub.add_parser(
+        "simulate", help="run a single custom simulation and print miss ratios"
+    )
+    simulate.add_argument("--strategy", default="UD")
+    simulate.add_argument("--load", type=float, default=0.5)
+    simulate.add_argument("--frac-local", type=float, default=0.75)
+    simulate.add_argument(
+        "--structure",
+        choices=("serial", "parallel", "serial-parallel"),
+        default="serial",
+    )
+    simulate.add_argument("--scheduler", default="EDF")
+    simulate.add_argument("--sim-time", type=float, default=20_000.0)
+    simulate.add_argument("--warmup", type=float, default=2_000.0)
+    simulate.add_argument("--seed", type=int, default=1)
+    return parser
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    rows = [
+        [entry.experiment_id, entry.paper_artifact, entry.description]
+        for entry in EXPERIMENTS.values()
+    ]
+    print(render_table(["id", "paper artifact", "description"], rows))
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    config = baseline_config()
+    rows = [
+        ["Overload Management Policy", config.overload_policy],
+        ["Local Scheduling Algorithm", config.scheduler],
+        ["mu_subtask", config.mu_subtask],
+        ["mu_local", config.mu_local],
+        ["k (# of nodes)", config.node_count],
+        ["m (# of subtasks of a global task)", config.subtask_count],
+        ["load", config.load],
+        ["frac_local", config.frac_local],
+        ["[Smin, Smax]", str(list(config.slack_range))],
+        ["rel_flex", config.rel_flex],
+        ["pex(X)/ex(X)", 1.0 + config.pex_error],
+        ["derived lambda_local (per node)", round(config.local_arrival_rate, 6)],
+        ["derived lambda_global", round(config.global_arrival_rate, 6)],
+        ["load check (recomputed)", round(verify_load_arithmetic(config), 6)],
+    ]
+    print(render_table(["parameter", "value"], rows, title="Table 1: baseline setting"))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    entry = get_experiment(args.experiment_id)
+    scale = SCALES[args.scale]
+    print(f"running {entry.experiment_id} ({entry.paper_artifact}) at "
+          f"scale={scale.label} ...", file=sys.stderr)
+    result = entry.run(scale)
+    if isinstance(result, FigureResult):
+        print(result.render())
+    elif isinstance(result, VariationResult):
+        print(result.table())
+    else:  # pragma: no cover - future experiment types
+        print(result)
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    config = SystemConfig(
+        strategy=args.strategy,
+        load=args.load,
+        frac_local=args.frac_local,
+        task_structure=args.structure,
+        scheduler=args.scheduler,
+        sim_time=args.sim_time,
+        warmup_time=args.warmup,
+        seed=args.seed,
+    )
+    result = Simulation(config).run()
+    rows = [
+        ["MD_local", format_percent(result.md_local)],
+        ["MD_global", format_percent(result.md_global)],
+        ["mean node utilization", f"{result.mean_utilization:.3f}"],
+        ["local tasks finished", result.local.completed],
+        ["global tasks finished", result.global_.completed],
+    ]
+    print(render_table(["metric", "value"], rows, title=config.describe()))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,44 @@
+"""Task model, timing attributes, estimators, and SDA strategies."""
+
+from .estimators import (
+    Estimator,
+    NoisyEstimator,
+    PerfectEstimator,
+    uniform_error_estimator,
+)
+from .notation import NotationError, format_tree, parse, tokenize
+from .task import (
+    LocalTask,
+    ParallelTask,
+    SerialTask,
+    SimpleTask,
+    TaskClass,
+    TaskNode,
+    chain_of,
+    fan_of,
+    parallel,
+    serial,
+)
+from .timing import TimingRecord
+
+__all__ = [
+    "Estimator",
+    "LocalTask",
+    "NoisyEstimator",
+    "NotationError",
+    "ParallelTask",
+    "PerfectEstimator",
+    "SerialTask",
+    "SimpleTask",
+    "TaskClass",
+    "TaskNode",
+    "TimingRecord",
+    "chain_of",
+    "fan_of",
+    "format_tree",
+    "parallel",
+    "parse",
+    "serial",
+    "tokenize",
+    "uniform_error_estimator",
+]

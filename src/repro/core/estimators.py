@@ -1,0 +1,67 @@
+"""Execution-time estimators (``pex`` models).
+
+The paper's baseline assumes *perfect* prediction (``pex(X) = ex(X)``,
+Table 1) and Sec. 4.3 relaxes it by injecting random error into the
+estimate.  An estimator maps a real execution time to a predicted one; all
+randomness comes from an explicit stream so experiments stay reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..sim.distributions import Distribution, UniformErrorFactor
+
+
+class Estimator:
+    """Maps real execution times to predicted ones."""
+
+    def predict(self, ex: float, stream: random.Random) -> float:
+        """Return ``pex`` for a task whose real execution time is ``ex``."""
+        raise NotImplementedError
+
+    @property
+    def is_perfect(self) -> bool:
+        """True if ``predict`` always returns ``ex`` exactly."""
+        return False
+
+
+@dataclass(frozen=True)
+class PerfectEstimator(Estimator):
+    """The baseline: ``pex(X) = ex(X)`` (Table 1, ``pex/ex = 1.0``)."""
+
+    def predict(self, ex: float, stream: random.Random) -> float:
+        return ex
+
+    @property
+    def is_perfect(self) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class NoisyEstimator(Estimator):
+    """Multiplicative-error estimator: ``pex = ex * factor``.
+
+    ``factor`` is drawn from ``factor_distribution`` per task, e.g.
+    :class:`~repro.sim.distributions.UniformErrorFactor` for the Sec. 4.3
+    "random error in the execution time predictions" variation.  Estimates
+    are clamped to be non-negative.
+    """
+
+    factor_distribution: Distribution
+
+    def predict(self, ex: float, stream: random.Random) -> float:
+        factor = self.factor_distribution.sample(stream)
+        return max(0.0, ex * factor)
+
+
+def uniform_error_estimator(relative_error: float) -> Estimator:
+    """Estimator with ``pex = ex * U[1 - e, 1 + e]``.
+
+    ``relative_error = 0`` returns the perfect estimator, so sweeping the
+    error from 0 upward (the V1 variation bench) needs no special-casing.
+    """
+    if relative_error == 0:
+        return PerfectEstimator()
+    return NoisyEstimator(UniformErrorFactor(relative_error))

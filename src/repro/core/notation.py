@@ -1,0 +1,166 @@
+"""Parser for the paper's serial-parallel bracket notation.
+
+The paper writes serial tasks as ``[T1 T2 ... Tn]`` and parallel tasks as
+``[T1 || T2 || ... || Tn]``.  This module parses that notation into
+:class:`~repro.core.task.TaskNode` trees, with leaves written as execution
+times, optionally named::
+
+    parse("[1.0 2.5 0.5]")                 # serial chain of three leaves
+    parse("[1 || 2 || 3]")                 # parallel fan
+    parse("[fetch:1 [db:2 || net:0.5] 1]") # mixed serial-parallel
+    parse("2.0")                           # a single simple task
+
+Rules:
+
+* inside one bracket pair the separators must be homogeneous -- either all
+  whitespace (serial) or all ``||`` (parallel); mixing is a syntax error
+  because the paper's algebra has no mixed node;
+* a leaf is ``NUMBER`` or ``NAME:NUMBER`` where ``NUMBER`` is the real
+  execution time (``pex`` defaults to ``ex``);
+* a bracket with a single child denotes that child (no unary composites).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple, Union
+
+from .task import ParallelTask, SerialTask, SimpleTask, TaskNode
+
+
+class NotationError(ValueError):
+    """Raised on malformed serial-parallel notation."""
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<lbracket>\[)
+  | (?P<rbracket>\])
+  | (?P<par>\|\|)
+  | (?P<leaf>[A-Za-z_][\w\-]*:[0-9]*\.?[0-9]+(?:[eE][-+]?\d+)?
+           | [0-9]*\.?[0-9]+(?:[eE][-+]?\d+)?)
+  | (?P<ws>\s+)
+  | (?P<bad>.)
+    """,
+    re.VERBOSE,
+)
+
+Token = Tuple[str, str]
+
+
+def tokenize(text: str) -> List[Token]:
+    """Split ``text`` into ``(kind, value)`` tokens, dropping whitespace."""
+    tokens: List[Token] = []
+    for match in _TOKEN_RE.finditer(text):
+        kind = match.lastgroup
+        value = match.group()
+        if kind == "ws":
+            continue
+        if kind == "bad":
+            raise NotationError(f"unexpected character {value!r} in {text!r}")
+        tokens.append((kind, value))
+    return tokens
+
+
+def parse(text: str) -> TaskNode:
+    """Parse bracket notation into a task tree."""
+    tokens = tokenize(text)
+    if not tokens:
+        raise NotationError("empty task notation")
+    parser = _Parser(tokens, text)
+    tree = parser.parse_node()
+    parser.expect_end()
+    return tree
+
+
+def format_tree(tree: TaskNode) -> str:
+    """Inverse of :func:`parse` up to leaf naming: uses execution times."""
+    if tree.is_leaf:
+        leaf: SimpleTask = tree  # type: ignore[assignment]
+        return _format_number(leaf.ex)
+    joiner = " || " if isinstance(tree, ParallelTask) else " "
+    inner = joiner.join(format_tree(child) for child in tree.children)
+    return f"[{inner}]"
+
+
+def _format_number(value: float) -> str:
+    text = f"{value:g}"
+    return text
+
+
+class _Parser:
+    """Recursive-descent parser over the token list."""
+
+    def __init__(self, tokens: List[Token], source: str) -> None:
+        self._tokens = tokens
+        self._pos = 0
+        self._source = source
+
+    def _peek(self) -> Optional[Token]:
+        if self._pos < len(self._tokens):
+            return self._tokens[self._pos]
+        return None
+
+    def _next(self) -> Token:
+        token = self._peek()
+        if token is None:
+            raise NotationError(f"unexpected end of notation in {self._source!r}")
+        self._pos += 1
+        return token
+
+    def expect_end(self) -> None:
+        if self._peek() is not None:
+            kind, value = self._peek()  # type: ignore[misc]
+            raise NotationError(
+                f"trailing {value!r} after complete task in {self._source!r}"
+            )
+
+    def parse_node(self) -> TaskNode:
+        kind, value = self._next()
+        if kind == "leaf":
+            return _make_leaf(value)
+        if kind == "lbracket":
+            return self._parse_composite()
+        raise NotationError(f"unexpected {value!r} in {self._source!r}")
+
+    def _parse_composite(self) -> TaskNode:
+        children: List[TaskNode] = [self.parse_node()]
+        mode: Optional[str] = None  # "serial" or "parallel", decided by 1st sep
+        while True:
+            token = self._peek()
+            if token is None:
+                raise NotationError(f"unclosed '[' in {self._source!r}")
+            kind, value = token
+            if kind == "rbracket":
+                self._next()
+                break
+            if kind == "par":
+                self._next()
+                if mode == "serial":
+                    raise NotationError(
+                        f"mixed serial and parallel separators inside one "
+                        f"bracket in {self._source!r}"
+                    )
+                mode = "parallel"
+                children.append(self.parse_node())
+            else:
+                # Plain juxtaposition: a serial separator.
+                if mode == "parallel":
+                    raise NotationError(
+                        f"mixed serial and parallel separators inside one "
+                        f"bracket in {self._source!r}"
+                    )
+                mode = "serial"
+                children.append(self.parse_node())
+        if len(children) == 1:
+            return children[0]
+        if mode == "parallel":
+            return ParallelTask(children)
+        return SerialTask(children)
+
+
+def _make_leaf(text: str) -> SimpleTask:
+    if ":" in text:
+        name, _, number = text.partition(":")
+        return SimpleTask(float(number), name=name)
+    return SimpleTask(float(text))

@@ -1,0 +1,65 @@
+"""Subtask deadline-assignment (SDA) strategies — the paper's contribution.
+
+* SSP (serial chains): :class:`UltimateDeadline` (UD),
+  :class:`EffectiveDeadline` (ED), :class:`EqualSlack` (EQS),
+  :class:`EqualFlexibility` (EQF);
+* PSP (parallel groups): :class:`UltimateDeadlineParallel` (UD),
+  :class:`DivX` (DIV-x), :class:`GlobalsFirst` (GF);
+* :class:`DeadlineAssigner` composes one of each recursively over
+  serial-parallel trees (Sec. 6); :func:`parse_assigner` builds one from a
+  paper-style name such as ``"EQF-DIV1"``.
+"""
+
+from .base import (
+    ParallelContext,
+    PriorityClass,
+    PSPStrategy,
+    SerialContext,
+    SSPStrategy,
+)
+from .combined import (
+    PAPER_COMBINATIONS,
+    Assignment,
+    DeadlineAssigner,
+    parse_assigner,
+)
+from .psp import (
+    PSP_STRATEGIES,
+    DivX,
+    GlobalsFirst,
+    UltimateDeadlineParallel,
+    make_div,
+)
+from .ssp import (
+    SSP_STRATEGIES,
+    EffectiveDeadline,
+    EqualFlexibility,
+    EqualFlexibilityDamped,
+    EqualSlack,
+    UltimateDeadline,
+    make_eqf_as,
+)
+
+__all__ = [
+    "Assignment",
+    "DeadlineAssigner",
+    "DivX",
+    "EffectiveDeadline",
+    "EqualFlexibility",
+    "EqualFlexibilityDamped",
+    "EqualSlack",
+    "GlobalsFirst",
+    "PAPER_COMBINATIONS",
+    "PSP_STRATEGIES",
+    "PSPStrategy",
+    "ParallelContext",
+    "PriorityClass",
+    "SSP_STRATEGIES",
+    "SSPStrategy",
+    "SerialContext",
+    "UltimateDeadline",
+    "UltimateDeadlineParallel",
+    "make_div",
+    "make_eqf_as",
+    "parse_assigner",
+]

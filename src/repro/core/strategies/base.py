@@ -1,0 +1,160 @@
+"""Strategy interfaces and assignment contexts for the SDA problem.
+
+An SDA strategy converts a *window* -- the arrival time and deadline of a
+serial chain or a parallel group -- into a virtual deadline for one of its
+member subtasks **at the moment that subtask is submitted**.  The paper's
+key design point (Sec. 4) is exactly this late binding: serial strategies
+see how much slack is actually left when the previous stage finishes.
+
+Two small context dataclasses carry everything a strategy may consult.
+Strategies must be pure functions of their context (no hidden state), which
+is what makes them individually testable and composable into the recursive
+serial-parallel assigner (:mod:`repro.core.strategies.combined`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+class PriorityClass:
+    """Scheduler priority classes used by the Globals-First (GF) policy.
+
+    Smaller values are served strictly first.  With every strategy except
+    GF all work shares :data:`NORMAL`, and the node scheduler degenerates
+    to its plain single-class discipline.
+    """
+
+    ELEVATED = 0
+    NORMAL = 1
+
+
+@dataclass(frozen=True)
+class SerialContext:
+    """Everything an SSP strategy may look at when subtask ``i`` is submitted.
+
+    Attributes
+    ----------
+    window_arrival:
+        ``ar(T)`` of the serial chain (or of the enclosing virtual window
+        for nested chains).
+    window_deadline:
+        ``dl(T)``: the end-to-end (or inherited virtual) deadline.
+    submit_time:
+        ``ar(Ti)``: the current time, when the previous stage has finished
+        and subtask ``i`` is about to be submitted.
+    remaining_pex:
+        Predicted execution times ``(pex(Ti), pex(Ti+1), ..., pex(Tm))`` of
+        the *remaining* subtasks, current one first.  Strategies that need
+        no estimates (UD) simply ignore it.
+    """
+
+    window_arrival: float
+    window_deadline: float
+    submit_time: float
+    remaining_pex: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if not self.remaining_pex:
+            raise ValueError("serial context needs at least the current subtask")
+        if any(p < 0 for p in self.remaining_pex):
+            raise ValueError(f"negative pex in {self.remaining_pex}")
+
+    @property
+    def current_pex(self) -> float:
+        """Predicted execution time of the subtask being submitted."""
+        return self.remaining_pex[0]
+
+    @property
+    def remaining_count(self) -> int:
+        """Number of subtasks not yet completed (including the current one)."""
+        return len(self.remaining_pex)
+
+    @property
+    def total_remaining_pex(self) -> float:
+        """Sum of predicted execution times of all remaining subtasks."""
+        return sum(self.remaining_pex)
+
+    @property
+    def remaining_slack(self) -> float:
+        """Slack left for the whole chain as of ``submit_time``.
+
+        ``dl(T) - ar(Ti) - sum_j pex(Tj)``: may be negative if the chain is
+        already doomed; strategies still assign deadlines (soft real-time
+        never aborts by default) and the negative slack propagates.
+        """
+        return self.window_deadline - self.submit_time - self.total_remaining_pex
+
+
+@dataclass(frozen=True)
+class ParallelContext:
+    """Everything a PSP strategy may look at when fanning out a group.
+
+    Attributes
+    ----------
+    window_arrival:
+        ``ar(T)`` of the parallel group (fork time for nested groups).
+    window_deadline:
+        ``dl(T)``: the group's (possibly virtual) deadline.
+    fan_out:
+        ``n``: the number of parallel subtasks in the group.
+    index:
+        Zero-based index of the subtask being assigned.
+    pex:
+        Predicted execution time of that subtask (available to strategies
+        that want it; the paper's PSP strategies do not use it).
+    """
+
+    window_arrival: float
+    window_deadline: float
+    fan_out: int
+    index: int
+    pex: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.fan_out < 1:
+            raise ValueError(f"fan_out must be >= 1, got {self.fan_out}")
+        if not 0 <= self.index < self.fan_out:
+            raise ValueError(f"index {self.index} outside fan-out {self.fan_out}")
+        if self.pex < 0:
+            raise ValueError(f"negative pex: {self.pex}")
+
+    @property
+    def window_length(self) -> float:
+        """``dl(T) - ar(T)``: the total time the group has."""
+        return self.window_deadline - self.window_arrival
+
+
+class SSPStrategy:
+    """A serial subtask deadline-assignment strategy (Sec. 4)."""
+
+    #: Registry / display name, e.g. ``"EQF"``.
+    name: str = "abstract-ssp"
+    #: Whether the strategy consults execution-time estimates.  UD does
+    #: not; systems without estimators can only use such strategies.
+    uses_estimates: bool = True
+
+    def assign(self, context: SerialContext) -> float:
+        """Return the virtual deadline ``dl(Ti)``."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<SSP {self.name}>"
+
+
+class PSPStrategy:
+    """A parallel subtask deadline-assignment strategy (Sec. 5)."""
+
+    name: str = "abstract-psp"
+    uses_estimates: bool = False
+    #: Priority class stamped on subtasks assigned by this strategy.  Only
+    #: GF elevates it; see :class:`PriorityClass`.
+    priority_class: int = PriorityClass.NORMAL
+
+    def assign(self, context: ParallelContext) -> float:
+        """Return the virtual deadline ``dl(Ti)``."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<PSP {self.name}>"

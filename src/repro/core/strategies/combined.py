@@ -1,0 +1,168 @@
+"""Recursive SSP + PSP composition for serial-parallel trees (Sec. 6).
+
+    "A global deadline is broken down into virtual deadlines using either
+    the SSP or the PSP strategies, depending on whether the global task is
+    serial or parallel.  If a subtask is itself a complex serial-parallel
+    task, the virtual deadline assigned to it is further decomposed."
+
+:class:`DeadlineAssigner` pairs one SSP strategy with one PSP strategy and
+offers the two window-splitting operations the runtime needs.  The paper's
+four studied combinations (UD-UD, UD-DIV1, EQF-UD, EQF-DIV1) are provided
+by :func:`parse_assigner`, but any pairing works.
+
+The ``pex`` of a *complex* subtask is its tree envelope
+(:meth:`~repro.core.task.TaskNode.total_pex`): serial children add,
+parallel children take the max.  This is the only sensible single-number
+summary and keeps the SSP formulas unchanged for nested chains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from ..task import TaskNode
+from .base import ParallelContext, PSPStrategy, SerialContext, SSPStrategy
+from .psp import PSP_STRATEGIES, DivX, make_div
+from .ssp import SSP_STRATEGIES
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """Virtual deadline plus scheduling metadata for one subtask."""
+
+    deadline: float
+    priority_class: int
+
+
+@dataclass(frozen=True)
+class DeadlineAssigner:
+    """An SSP strategy and a PSP strategy applied recursively to a tree."""
+
+    ssp: SSPStrategy
+    psp: PSPStrategy
+
+    @property
+    def name(self) -> str:
+        """Paper-style combination name, e.g. ``"EQF-DIV1"``."""
+        return f"{self.ssp.name}-{self.psp.name.replace('-', '')}"
+
+    # -- the two window-splitting operations --------------------------------
+
+    def serial_child_deadline(
+        self,
+        remaining: Sequence[TaskNode],
+        now: float,
+        window_arrival: float,
+        window_deadline: float,
+    ) -> Assignment:
+        """Virtual deadline for ``remaining[0]``, submitted at ``now``.
+
+        ``remaining`` holds the not-yet-executed children of a serial node,
+        current one first.  Complex children contribute their tree envelope
+        as ``pex``.
+        """
+        context = SerialContext(
+            window_arrival=window_arrival,
+            window_deadline=window_deadline,
+            submit_time=now,
+            remaining_pex=tuple(child.total_pex() for child in remaining),
+        )
+        return Assignment(
+            deadline=self.ssp.assign(context),
+            priority_class=self.psp.priority_class,
+        )
+
+    def parallel_child_deadline(
+        self,
+        children: Sequence[TaskNode],
+        index: int,
+        now: float,
+        window_deadline: float,
+    ) -> Assignment:
+        """Virtual deadline for ``children[index]`` of a group forked at ``now``.
+
+        The group's window is ``[now, window_deadline]``: for a top-level
+        parallel task ``now`` equals ``ar(T)``; for a nested group it is
+        the fork time, which plays the role of ``ar`` in the DIV-x formula.
+        """
+        context = ParallelContext(
+            window_arrival=now,
+            window_deadline=window_deadline,
+            fan_out=len(children),
+            index=index,
+            pex=children[index].total_pex(),
+        )
+        return Assignment(
+            deadline=self.psp.assign(context),
+            priority_class=self.psp.priority_class,
+        )
+
+
+def parse_assigner(name: str) -> DeadlineAssigner:
+    """Build an assigner from a paper-style combination name.
+
+    Accepted forms (case-insensitive):
+
+    * a single SSP name (``"EQF"``): PSP defaults to UD;
+    * a single PSP name (``"DIV-1"``, ``"DIV1"``, ``"GF"``): SSP defaults
+      to UD;
+    * a hyphenated pair (``"EQF-DIV1"``, ``"UD-UD"``, ``"EQS-GF"``).
+
+    ``DIV`` accepts the x value with or without the inner hyphen; arbitrary
+    x like ``"DIV3"`` or ``"DIV-0.5"`` works too.
+    """
+    text = name.strip().upper()
+    ssp_names = set(SSP_STRATEGIES)
+    parts = text.split("-")
+
+    # Re-join DIV-x forms: "EQF-DIV-2" -> ["EQF", "DIV-2"].
+    merged: list[str] = []
+    for part in parts:
+        if merged and merged[-1].startswith("DIV") and _is_number(part):
+            merged[-1] = f"{merged[-1]}-{part}"
+        else:
+            merged.append(part)
+    parts = merged
+
+    if len(parts) == 1:
+        token = parts[0]
+        if token in ssp_names:
+            return DeadlineAssigner(SSP_STRATEGIES[token], PSP_STRATEGIES["UD"])
+        psp = _parse_psp(token)
+        if psp is not None:
+            return DeadlineAssigner(SSP_STRATEGIES["UD"], psp)
+        raise ValueError(f"unknown strategy {name!r}")
+
+    if len(parts) == 2:
+        ssp_token, psp_token = parts
+        if ssp_token not in ssp_names:
+            raise ValueError(f"unknown SSP strategy {ssp_token!r} in {name!r}")
+        psp = _parse_psp(psp_token)
+        if psp is None:
+            raise ValueError(f"unknown PSP strategy {psp_token!r} in {name!r}")
+        return DeadlineAssigner(SSP_STRATEGIES[ssp_token], psp)
+
+    raise ValueError(f"cannot parse strategy combination {name!r}")
+
+
+def _parse_psp(token: str) -> PSPStrategy | None:
+    if token in PSP_STRATEGIES:
+        return PSP_STRATEGIES[token]
+    if token.startswith("DIV"):
+        suffix = token[3:].lstrip("-")
+        if _is_number(suffix):
+            return make_div(float(suffix))
+    return None
+
+
+def _is_number(text: str) -> bool:
+    try:
+        float(text)
+    except ValueError:
+        return False
+    return True
+
+
+#: The four combinations studied in Sec. 6 of the paper.
+PAPER_COMBINATIONS: Tuple[str, ...] = ("UD-UD", "UD-DIV1", "EQF-UD", "EQF-DIV1")

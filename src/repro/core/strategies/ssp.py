@@ -1,0 +1,168 @@
+"""The four serial subtask (SSP) strategies of Sec. 4.
+
+All formulas are quoted from the paper, with ``i`` the index of the subtask
+being submitted, ``m`` the chain length, ``ar(Ti)`` the submission time:
+
+* **UD** (Ultimate Deadline)::
+
+      dl(Ti) = dl(T)
+
+* **ED** (Effective Deadline)::
+
+      dl(Ti) = dl(T) - sum_{j=i+1..m} pex(Tj)
+
+* **EQS** (Equal Slack)::
+
+      dl(Ti) = ar(Ti) + pex(Ti)
+             + [dl(T) - ar(Ti) - sum_{j=i..m} pex(Tj)] / (m - i + 1)
+
+* **EQF** (Equal Flexibility)::
+
+      dl(Ti) = ar(Ti) + pex(Ti)
+             + [dl(T) - ar(Ti) - sum_{j=i..m} pex(Tj)]
+               * pex(Ti) / sum_{j=i..m} pex(Tj)
+
+The remaining slack may be negative (the chain is already late); the
+formulas are applied unchanged, which shortens the virtual deadlines and
+raises the priority of a struggling chain -- exactly the paper's intent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .base import SerialContext, SSPStrategy
+
+
+class UltimateDeadline(SSPStrategy):
+    """UD: every subtask inherits the global deadline.
+
+    Needs no execution-time estimates; the baseline everything else is
+    measured against.  Its flaw (Sec. 4): time needed by later stages is
+    treated as slack of the early stages, so early subtasks look lazily
+    schedulable and global tasks become "second-class citizens".
+    """
+
+    name = "UD"
+    uses_estimates = False
+
+    def assign(self, context: SerialContext) -> float:
+        return context.window_deadline
+
+
+class EffectiveDeadline(SSPStrategy):
+    """ED: subtract the predicted time of the following stages.
+
+    Gives each subtask the latest start that could still meet ``dl(T)`` if
+    everything downstream ran with zero queueing.  All remaining slack is
+    still granted to the current subtask, so the "early stages eat the
+    slack" problem persists in weakened form; the paper finds ED between
+    UD and EQF.
+    """
+
+    name = "ED"
+
+    def assign(self, context: SerialContext) -> float:
+        downstream = context.total_remaining_pex - context.current_pex
+        return context.window_deadline - downstream
+
+
+class EqualSlack(SSPStrategy):
+    """EQS: divide the remaining slack equally among remaining subtasks."""
+
+    name = "EQS"
+
+    def assign(self, context: SerialContext) -> float:
+        share = context.remaining_slack / context.remaining_count
+        return context.submit_time + context.current_pex + share
+
+
+class EqualFlexibility(SSPStrategy):
+    """EQF: divide the remaining slack in proportion to predicted times.
+
+    Subtasks of the same task then have equal *flexibility*
+    (slack / execution time), the paper's winning strategy.  When the total
+    remaining estimate is zero the proportional rule is undefined; we fall
+    back to the EQS equal split, which is the natural zero-work limit.
+    """
+
+    name = "EQF"
+
+    def assign(self, context: SerialContext) -> float:
+        total = context.total_remaining_pex
+        if total == 0.0:
+            share = context.remaining_slack / context.remaining_count
+        else:
+            share = context.remaining_slack * (context.current_pex / total)
+        return context.submit_time + context.current_pex + share
+
+
+@dataclass(frozen=True)
+class EqualFlexibilityDamped(SSPStrategy):
+    """EQF-AS: EQF with *artificial stages* (the paper's future-work idea).
+
+    Sec. 7: "An interesting modification to EQF would control the extent of
+    slack variability, perhaps by giving subtasks of tight global tasks
+    less slack than EQF would give.  One trick would be to add artificial
+    stages."
+
+    This strategy appends ``artificial_stages`` phantom subtasks, each with
+    the mean predicted execution time of the real remaining subtasks, to
+    the EQF denominator.  Consequences:
+
+    * every real subtask receives a smaller slack share than under plain
+      EQF, so its virtual deadline is earlier and its priority higher;
+    * the chain holds back a *reserve* -- even the final real subtask's
+      virtual deadline stays ahead of the global deadline -- which absorbs
+      late-stage queueing surprises;
+    * a chain whose early stages run ahead of schedule re-inherits the
+      reserve automatically (the shares are recomputed at each submission).
+
+    ``artificial_stages = 0`` is exactly EQF.  The registry exposes one and
+    two phantom stages as ``EQFAS1``/``EQFAS2`` (no inner hyphen, so
+    combination names like ``EQFAS1-DIV1`` parse unambiguously); other
+    counts via :func:`make_eqf_as`.
+    """
+
+    artificial_stages: int = 1
+
+    def __post_init__(self) -> None:
+        if self.artificial_stages < 0:
+            raise ValueError(
+                f"artificial stage count must be >= 0, got {self.artificial_stages}"
+            )
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return f"EQFAS{self.artificial_stages}"
+
+    def assign(self, context: SerialContext) -> float:
+        real_total = context.total_remaining_pex
+        count = context.remaining_count
+        phantom_total = self.artificial_stages * (real_total / count)
+        denominator = real_total + phantom_total
+        if denominator == 0.0:
+            share = context.remaining_slack / (count + self.artificial_stages)
+        else:
+            share = context.remaining_slack * (context.current_pex / denominator)
+        return context.submit_time + context.current_pex + share
+
+
+def make_eqf_as(artificial_stages: int) -> EqualFlexibilityDamped:
+    """Construct an EQF-AS strategy with the given phantom stage count."""
+    return EqualFlexibilityDamped(artificial_stages=artificial_stages)
+
+
+#: The strategies of Sec. 4 keyed by the paper's abbreviations, plus the
+#: Sec. 7 future-work extension (EQFAS1/EQFAS2).
+SSP_STRATEGIES = {
+    strategy.name: strategy
+    for strategy in (
+        UltimateDeadline(),
+        EffectiveDeadline(),
+        EqualSlack(),
+        EqualFlexibility(),
+        EqualFlexibilityDamped(1),
+        EqualFlexibilityDamped(2),
+    )
+}

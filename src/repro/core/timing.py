@@ -1,0 +1,148 @@
+"""Timing attributes of tasks (Sec. 3.1 of the paper).
+
+Every task ``X`` -- local task, simple subtask, or global task -- carries
+five attributes:
+
+* ``ar(X)``  arrival time,
+* ``dl(X)``  deadline,
+* ``sl(X)``  slack,
+* ``ex(X)``  real execution time,
+* ``pex(X)`` predicted execution time,
+
+related by the identity ``dl(X) = ar(X) + ex(X) + sl(X)``.  *Flexibility*
+is ``fl(X) = sl(X) / ex(X)``: the larger it is, the less stringent the
+timing constraint.
+
+:class:`TimingRecord` stores ``ar``, ``ex``, ``pex``, and ``dl`` and
+derives ``sl`` and ``fl``; it also records the *completion* time filled in
+by the simulator so that tardiness can be computed afterwards.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass
+class TimingRecord:
+    """Mutable timing state attached to each task instance.
+
+    ``ar`` and ``ex`` are set at creation.  ``pex`` defaults to ``ex``
+    (perfect prediction, the paper's baseline) unless an estimator supplies
+    a noisy value.  ``dl`` is assigned by the workload generator (for
+    top-level tasks) or by an SDA strategy (for subtasks).  ``completed_at``
+    is stamped by the node that finishes the task.
+    """
+
+    ar: float
+    ex: float
+    pex: Optional[float] = None
+    dl: Optional[float] = None
+    completed_at: Optional[float] = None
+    #: Time at which the task started service (for waiting-time statistics).
+    started_at: Optional[float] = None
+    #: True if the task was discarded by an abort-tardy overload policy.
+    aborted: bool = field(default=False)
+
+    def __post_init__(self) -> None:
+        if self.ex < 0:
+            raise ValueError(f"negative execution time: {self.ex}")
+        if self.pex is None:
+            self.pex = self.ex
+        if self.pex < 0:
+            raise ValueError(f"negative predicted execution time: {self.pex}")
+
+    # -- derived attributes ------------------------------------------------
+
+    @property
+    def sl(self) -> float:
+        """Slack: ``dl - ar - ex``.  Requires the deadline to be assigned."""
+        self._require_deadline()
+        return self.dl - self.ar - self.ex
+
+    @property
+    def fl(self) -> float:
+        """Flexibility: ``sl / ex`` (``inf`` for zero execution time)."""
+        if self.ex == 0:
+            return math.inf
+        return self.sl / self.ex
+
+    @property
+    def has_deadline(self) -> bool:
+        """True once a (virtual or end-to-end) deadline has been assigned."""
+        return self.dl is not None
+
+    # -- outcome -----------------------------------------------------------
+
+    @property
+    def finished(self) -> bool:
+        """True once the task has completed service (aborted tasks never do)."""
+        return self.completed_at is not None
+
+    @property
+    def missed(self) -> bool:
+        """True if the task failed to meet its deadline.
+
+        A task misses when it completes after ``dl`` or when it was aborted
+        by the overload policy (an aborted task certainly did not meet its
+        deadline).  Asking before completion/abort is an error -- metrics
+        must only consult finished work.
+        """
+        self._require_deadline()
+        if self.aborted:
+            return True
+        if self.completed_at is None:
+            raise ValueError("task has not completed; tardiness unknown")
+        return self.completed_at > self.dl
+
+    @property
+    def lateness(self) -> float:
+        """Completion time minus deadline (positive = tardy)."""
+        self._require_deadline()
+        if self.completed_at is None:
+            raise ValueError("task has not completed; lateness unknown")
+        return self.completed_at - self.dl
+
+    @property
+    def response_time(self) -> float:
+        """Completion time minus arrival time."""
+        if self.completed_at is None:
+            raise ValueError("task has not completed; response time unknown")
+        return self.completed_at - self.ar
+
+    @property
+    def waiting_time(self) -> float:
+        """Time spent queued before service began."""
+        if self.started_at is None:
+            raise ValueError("task has not started; waiting time unknown")
+        return self.started_at - self.ar
+
+    def laxity(self, now: float) -> float:
+        """Remaining slack at time ``now``, using the *predicted* execution
+        time: ``dl - now - pex``.
+
+        This is the quantity a minimum-laxity-first scheduler compares.  It
+        uses ``pex`` rather than ``ex`` because a real scheduler only knows
+        the estimate.
+        """
+        self._require_deadline()
+        return self.dl - now - self.pex
+
+    def set_deadline_from_slack(self, slack: float) -> None:
+        """Assign ``dl = ar + ex + slack`` (workload-generator convenience)."""
+        if slack < 0:
+            raise ValueError(f"negative slack: {slack}")
+        self.dl = self.ar + self.ex + slack
+
+    def _require_deadline(self) -> None:
+        if self.dl is None:
+            raise ValueError("deadline has not been assigned yet")
+
+    def __repr__(self) -> str:
+        dl = f"{self.dl:.4g}" if self.dl is not None else "?"
+        return (
+            f"TimingRecord(ar={self.ar:.4g}, ex={self.ex:.4g}, "
+            f"pex={self.pex:.4g}, dl={dl})"
+        )

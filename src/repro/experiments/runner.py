@@ -1,0 +1,221 @@
+"""Experiment runner: replications, sweeps, and run-scale presets.
+
+One *data point* of a paper figure is the miss ratio of each task class at
+one parameter setting.  The paper estimates each point from two independent
+runs of one million time units; at Python speed that costs minutes per
+point, so the harness supports three scales:
+
+* ``SMOKE``  -- for unit/integration tests: tiny runs, single replication;
+* ``QUICK``  -- the default for benchmarks: the miss-ratio *orderings* of
+  the paper are stable at this scale (tens of thousands of time units,
+  two replications);
+* ``FULL``   -- the paper's own setting (two runs of 1e6 time units); hours
+  of wall clock in pure Python, available for final validation.
+
+Each replication gets an independent seed derived from the base seed, and
+every estimate carries a Student-t confidence interval.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..stats.confidence import IntervalEstimate, interval_from_samples
+from ..system.config import SystemConfig
+from ..system.metrics import RunResult
+from ..system.simulation import Simulation
+
+
+def run_config(config: SystemConfig) -> RunResult:
+    """Build and run one simulation (module-level so it pickles for
+    multiprocessing workers)."""
+    return Simulation(config).run()
+
+
+@dataclass(frozen=True)
+class RunScale:
+    """How long and how often to run each data point."""
+
+    sim_time: float
+    warmup_time: float
+    replications: int
+    label: str = "custom"
+
+    def __post_init__(self) -> None:
+        if self.replications < 1:
+            raise ValueError(f"need >= 1 replication, got {self.replications}")
+        if not 0 <= self.warmup_time < self.sim_time:
+            raise ValueError(
+                f"need 0 <= warmup < sim_time, got {self.warmup_time}, "
+                f"{self.sim_time}"
+            )
+
+    def apply(self, config: SystemConfig) -> SystemConfig:
+        """Stamp this scale's run lengths onto a config."""
+        return config.with_(
+            sim_time=self.sim_time, warmup_time=self.warmup_time
+        )
+
+
+#: Tiny runs for tests: enough tasks to see gross orderings, fast enough
+#: for a wide test suite.
+SMOKE = RunScale(sim_time=2_500.0, warmup_time=250.0, replications=1, label="smoke")
+
+#: Benchmark default: stable orderings, seconds per point.
+QUICK = RunScale(sim_time=24_000.0, warmup_time=2_400.0, replications=2, label="quick")
+
+#: The paper's setting: two runs of one million time units.
+FULL = RunScale(
+    sim_time=1_000_000.0, warmup_time=50_000.0, replications=2, label="full"
+)
+
+SCALES: Dict[str, RunScale] = {s.label: s for s in (SMOKE, QUICK, FULL)}
+
+
+@dataclass(frozen=True)
+class PointEstimate:
+    """Replicated measurement of one parameter setting."""
+
+    config: SystemConfig
+    md_local: IntervalEstimate
+    md_global: IntervalEstimate
+    utilization: float
+    local_completed: int
+    global_completed: int
+
+    @property
+    def gap(self) -> float:
+        """``MD_global - MD_local``: the discrimination the paper studies."""
+        return self.md_global.mean - self.md_local.mean
+
+
+def replicate(
+    config: SystemConfig,
+    replications: int = 2,
+    level: float = 0.95,
+    runner: Optional[Callable[[SystemConfig], RunResult]] = None,
+    workers: int = 1,
+) -> PointEstimate:
+    """Estimate one data point from ``replications`` independent runs.
+
+    Replication ``i`` uses seed ``config.seed * 10_000 + i`` so that points
+    of a sweep never share streams.  ``runner`` may be injected for testing
+    (it defaults to building and running a real :class:`Simulation`).
+
+    ``workers > 1`` runs the replications in a process pool -- worthwhile
+    at FULL scale where each replication takes minutes.  Results are
+    deterministic either way (each replication's seed is fixed up front);
+    ``workers`` is ignored when a custom ``runner`` is injected, since
+    closures generally do not pickle.
+    """
+    configs = [
+        config.with_(seed=config.seed * 10_000 + i) for i in range(replications)
+    ]
+    if workers > 1 and runner is None and replications > 1:
+        with multiprocessing.Pool(min(workers, replications)) as pool:
+            results = pool.map(run_config, configs)
+    else:
+        run = runner or run_config
+        results = [run(cfg) for cfg in configs]
+
+    md_locals: List[float] = []
+    md_globals: List[float] = []
+    utilizations: List[float] = []
+    local_completed = 0
+    global_completed = 0
+    for result in results:
+        md_locals.append(result.md_local)
+        md_globals.append(result.md_global)
+        utilizations.append(result.mean_utilization)
+        local_completed += result.local.completed
+        global_completed += result.global_.completed
+    return PointEstimate(
+        config=config,
+        md_local=interval_from_samples(md_locals, level),
+        md_global=interval_from_samples(md_globals, level),
+        utilization=sum(utilizations) / len(utilizations),
+        local_completed=local_completed,
+        global_completed=global_completed,
+    )
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One cell of a sweep: (x value, strategy) -> estimates."""
+
+    x: float
+    strategy: str
+    estimate: PointEstimate
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """A full parameter sweep over (x values x strategies)."""
+
+    parameter: str
+    x_values: Sequence[float]
+    strategies: Sequence[str]
+    points: Sequence[SweepPoint]
+
+    def series(self, strategy: str, metric: str = "global") -> List[float]:
+        """Miss-ratio series of one strategy along the sweep axis.
+
+        ``metric`` is ``"global"`` or ``"local"``.
+        """
+        chosen = {
+            p.x: (
+                p.estimate.md_global.mean
+                if metric == "global"
+                else p.estimate.md_local.mean
+            )
+            for p in self.points
+            if p.strategy == strategy
+        }
+        return [chosen[x] for x in self.x_values]
+
+    def point(self, x: float, strategy: str) -> SweepPoint:
+        for p in self.points:
+            if p.x == x and p.strategy == strategy:
+                return p
+        raise KeyError(f"no point for x={x}, strategy={strategy!r}")
+
+
+def sweep(
+    base: SystemConfig,
+    parameter: str,
+    values: Sequence[float],
+    strategies: Sequence[str],
+    scale: RunScale = QUICK,
+    runner: Optional[Callable[[SystemConfig], RunResult]] = None,
+    workers: int = 1,
+) -> SweepResult:
+    """Run a grid of (parameter value x strategy) data points.
+
+    ``parameter`` must be a field of :class:`SystemConfig` (e.g., ``load``
+    or ``frac_local``).  Each grid cell gets a distinct base seed so the
+    cells are statistically independent.  ``workers`` parallelizes the
+    replications within each cell (see :func:`replicate`).
+    """
+    points: List[SweepPoint] = []
+    for vi, value in enumerate(values):
+        for si, strategy in enumerate(strategies):
+            config = scale.apply(
+                base.with_(
+                    **{parameter: value},
+                    strategy=strategy,
+                    seed=base.seed + 1_000 * vi + si,
+                )
+            )
+            estimate = replicate(
+                config, replications=scale.replications, runner=runner,
+                workers=workers,
+            )
+            points.append(SweepPoint(x=value, strategy=strategy, estimate=estimate))
+    return SweepResult(
+        parameter=parameter,
+        x_values=list(values),
+        strategies=list(strategies),
+        points=points,
+    )

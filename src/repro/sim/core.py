@@ -1,0 +1,405 @@
+"""Core of the discrete-event simulation kernel.
+
+This module provides the :class:`Environment` (simulation clock plus event
+list) and the :class:`Event` family.  It plays the role that the DeNet
+simulation language [Livny 1990] played for the original paper: a generic
+discrete-event substrate on which the task/node/scheduler model is built.
+
+Design notes
+------------
+
+* The event list is a binary heap of ``(time, priority, sequence, event)``
+  tuples.  The monotonically increasing ``sequence`` number guarantees FIFO
+  order among events scheduled for the same time and priority, which makes
+  simulations fully deterministic for a fixed seed.
+* Processes (see :mod:`repro.sim.process`) are Python generators that yield
+  events; the environment resumes them when the yielded event fires.  This
+  is the same co-routine style popularized by SimPy, reimplemented here
+  because no simulation package is available offline.
+* Events support success *and* failure.  A failed event re-raises its
+  exception inside every waiting process, which is how interrupts and task
+  aborts propagate.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from .errors import EventLifecycleError, SimulationError, StopSimulation
+
+#: Default priority for scheduled events.  Lower values fire earlier among
+#: events scheduled for the same simulation time.
+NORMAL = 1
+
+#: Priority used for "urgent" bookkeeping events that must run before any
+#: normal event at the same timestamp (e.g., process resumption).
+URGENT = 0
+
+Callback = Callable[["Event"], None]
+
+
+class Event:
+    """An occurrence that may happen at some point in simulation time.
+
+    An event goes through up to three stages:
+
+    1. *pending* -- created, not yet triggered;
+    2. *triggered* -- given a value (or an exception) and placed on the
+       event list;
+    3. *processed* -- popped from the event list; its callbacks have run.
+
+    Processes wait for events by ``yield``-ing them.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_processed", "_defused")
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        #: Callbacks to invoke when the event is processed.  ``None`` once
+        #: the event has been processed (guards against double-processing).
+        self.callbacks: Optional[list[Callback]] = []
+        self._value: Any = _PENDING
+        self._ok: bool = True
+        self._processed: bool = False
+        self._defused: bool = False
+
+    # -- state inspection ------------------------------------------------
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value and is scheduled to fire."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have been executed."""
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (valid only after triggering)."""
+        if not self.triggered:
+            raise EventLifecycleError(f"{self!r} has not been triggered yet")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or exception, for failed events)."""
+        if self._value is _PENDING:
+            raise EventLifecycleError(f"{self!r} has not been triggered yet")
+        return self._value
+
+    # -- triggering ------------------------------------------------------
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``.
+
+        Returns ``self`` for chaining (``return event.succeed(x)``).
+        """
+        if self.triggered:
+            raise EventLifecycleError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.env._schedule(self, NORMAL, 0.0)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception.
+
+        Every process waiting on this event will have ``exception`` thrown
+        into it.  If nobody is waiting and the failure is never *defused*,
+        :meth:`Environment.step` re-raises it so that model bugs cannot pass
+        silently.
+        """
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"fail() needs an exception, got {exception!r}")
+        if self.triggered:
+            raise EventLifecycleError(f"{self!r} has already been triggered")
+        self._ok = False
+        self._value = exception
+        self.env._schedule(self, NORMAL, 0.0)
+        return self
+
+    def defuse(self) -> None:
+        """Mark a failed event as handled, silencing the crash-on-fail."""
+        self._defused = True
+
+    # -- composition -----------------------------------------------------
+
+    def __and__(self, other: "Event") -> "AllOf":
+        return AllOf(self.env, [self, other])
+
+    def __or__(self, other: "Event") -> "AnyOf":
+        return AnyOf(self.env, [self, other])
+
+    def __repr__(self) -> str:
+        state = (
+            "processed" if self._processed
+            else "triggered" if self.triggered
+            else "pending"
+        )
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class _PendingType:
+    """Sentinel for "no value yet"; distinct from ``None`` values."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<PENDING>"
+
+
+_PENDING = _PendingType()
+
+
+class Timeout(Event):
+    """An event that fires automatically after a fixed delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay!r}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env._schedule(self, NORMAL, delay)
+
+    def __repr__(self) -> str:
+        return f"<Timeout delay={self.delay!r} at {id(self):#x}>"
+
+
+class ConditionValue:
+    """Ordered mapping of event -> value for fired condition events."""
+
+    __slots__ = ("events",)
+
+    def __init__(self, events: list[Event]) -> None:
+        self.events = events
+
+    def __getitem__(self, event: Event) -> Any:
+        if event not in self.events:
+            raise KeyError(repr(event))
+        return event.value
+
+    def __contains__(self, event: Event) -> bool:
+        return event in self.events
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def todict(self) -> dict[Event, Any]:
+        return {event: event.value for event in self.events}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ConditionValue {self.todict()!r}>"
+
+
+class Condition(Event):
+    """Waits for a boolean combination of other events.
+
+    Subclasses define :meth:`_check` deciding when the condition holds.
+    A failing constituent event fails the whole condition immediately.
+    """
+
+    __slots__ = ("_events", "_fired_count")
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        super().__init__(env)
+        self._events = list(events)
+        self._fired_count = 0
+        for event in self._events:
+            if event.env is not env:
+                raise SimulationError("cannot mix events from different environments")
+        if not self._events:
+            self.succeed(ConditionValue([]))
+            return
+        for event in self._events:
+            if event.processed:
+                self._on_fire(event)
+            else:
+                event.callbacks.append(self._on_fire)
+
+    def _on_fire(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            event.defuse()
+            self.fail(event.value)
+            return
+        self._fired_count += 1
+        if self._check():
+            self.succeed(ConditionValue(
+                [ev for ev in self._events if ev.triggered and ev._ok]
+            ))
+
+    def _check(self) -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class AllOf(Condition):
+    """Fires when *all* constituent events have fired successfully."""
+
+    __slots__ = ()
+
+    def _check(self) -> bool:
+        return self._fired_count == len(self._events)
+
+
+class AnyOf(Condition):
+    """Fires when *any* constituent event has fired successfully."""
+
+    __slots__ = ()
+
+    def _check(self) -> bool:
+        return self._fired_count >= 1
+
+
+class Environment:
+    """Simulation clock, event list, and process launcher.
+
+    Typical use::
+
+        env = Environment()
+
+        def worker(env):
+            yield env.timeout(5)
+            print("done at", env.now)
+
+        env.process(worker(env))
+        env.run(until=100)
+    """
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._seq = 0
+        self._active_process = None  # set by Process while running
+
+    # -- clock -----------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def active_process(self):
+        """The :class:`~repro.sim.process.Process` currently executing."""
+        return self._active_process
+
+    # -- event construction ----------------------------------------------
+
+    def event(self) -> Event:
+        """Create a new, untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires ``delay`` time units from now."""
+        return Timeout(self, delay, value)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Create an event that fires once all of ``events`` have fired."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Create an event that fires once any of ``events`` has fired."""
+        return AnyOf(self, events)
+
+    def process(self, generator: Generator) -> "Process":
+        """Start a new process running ``generator``."""
+        from .process import Process  # local import to avoid cycle
+
+        return Process(self, generator)
+
+    # -- scheduling ------------------------------------------------------
+
+    def _schedule(self, event: Event, priority: int, delay: float) -> None:
+        """Place a triggered event on the event list."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        self._seq += 1
+        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process the single next event.
+
+        Raises :class:`IndexError` style :class:`SimulationError` when the
+        event list is empty, and re-raises the exception of any failed
+        event that no process defused.
+        """
+        if not self._queue:
+            raise SimulationError("no more events to process")
+        when, _priority, _seq, event = heapq.heappop(self._queue)
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, None
+        event._processed = True
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not event._defused:
+            # Nobody handled the failure: crash loudly per the Zen of Python.
+            exc = event.value
+            raise exc
+
+    def run(self, until: Any = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be:
+
+        * ``None`` -- run until the event list is exhausted;
+        * a number -- run until the clock reaches that time;
+        * an :class:`Event` -- run until that event is processed, returning
+          its value.
+        """
+        if until is None:
+            stop_at = float("inf")
+            stop_event: Optional[Event] = None
+        elif isinstance(until, Event):
+            stop_at = float("inf")
+            stop_event = until
+            if until.callbacks is not None:
+                until.callbacks.append(_stop_simulation)
+            elif until.triggered:
+                return until.value
+        else:
+            stop_at = float(until)
+            if stop_at < self._now:
+                raise SimulationError(
+                    f"until={stop_at} lies in the past (now={self._now})"
+                )
+            stop_event = None
+
+        try:
+            while self._queue:
+                if self.peek() > stop_at:
+                    self._now = stop_at
+                    break
+                self.step()
+        except StopSimulation as stop:
+            return stop.value
+        else:
+            if stop_event is not None and not stop_event.triggered:
+                raise SimulationError(
+                    "run(until=event) exhausted the event list before the "
+                    "event was triggered"
+                )
+            if stop_event is None and until is not None and self._now < stop_at:
+                # Queue drained before the horizon: advance the clock so
+                # time-weighted statistics cover the whole requested window.
+                self._now = stop_at
+        return None
+
+
+def _stop_simulation(event: Event) -> None:
+    """Callback attached to ``run(until=event)`` targets."""
+    raise StopSimulation(event.value)

@@ -1,0 +1,237 @@
+"""Random-variate distributions used by the workload model.
+
+The paper's workload draws from three families:
+
+* exponential execution times (local tasks and subtasks of global tasks;
+  the total execution time of a global task is then Erlang);
+* Poisson arrival processes (equivalently, exponential interarrival times);
+* uniform slack.
+
+We implement these plus a few extras used by the Sec. 4.3 variations
+(deterministic values, bounded uniform error multipliers, discrete uniform
+choice of subtask counts).  Every distribution takes an explicit
+:class:`random.Random` stream at sampling time, so distribution objects are
+immutable descriptions and all randomness flows through named streams
+(:mod:`repro.sim.rng`).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Sequence
+
+
+class Distribution:
+    """Base class: a described distribution sampled via an explicit stream."""
+
+    def sample(self, stream: random.Random) -> float:
+        """Draw one variate using ``stream``."""
+        raise NotImplementedError
+
+    @property
+    def mean(self) -> float:
+        """Analytic mean of the distribution."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Exponential(Distribution):
+    """Exponential distribution with the given *mean* (not rate).
+
+    The paper parameterizes by rate (``1/mu``); we store the mean because
+    every formula in the paper divides by the rate anyway.
+    """
+
+    mean_value: float
+
+    def __post_init__(self) -> None:
+        if self.mean_value <= 0:
+            raise ValueError(f"exponential mean must be positive: {self.mean_value}")
+
+    def sample(self, stream: random.Random) -> float:
+        return stream.expovariate(1.0 / self.mean_value)
+
+    @property
+    def mean(self) -> float:
+        return self.mean_value
+
+    @property
+    def rate(self) -> float:
+        """Rate parameter lambda = 1 / mean."""
+        return 1.0 / self.mean_value
+
+
+@dataclass(frozen=True)
+class Uniform(Distribution):
+    """Continuous uniform distribution on ``[low, high]``."""
+
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        if self.high < self.low:
+            raise ValueError(f"uniform needs low <= high, got [{self.low}, {self.high}]")
+
+    def sample(self, stream: random.Random) -> float:
+        return stream.uniform(self.low, self.high)
+
+    @property
+    def mean(self) -> float:
+        return (self.low + self.high) / 2.0
+
+    def scaled(self, factor: float) -> "Uniform":
+        """Return a copy with both endpoints multiplied by ``factor``.
+
+        Used to derive the global-task slack range from the local one via
+        ``rel_flex`` (see :mod:`repro.system.workload`).
+        """
+        if factor < 0:
+            raise ValueError(f"scale factor must be non-negative: {factor}")
+        return Uniform(self.low * factor, self.high * factor)
+
+
+@dataclass(frozen=True)
+class Deterministic(Distribution):
+    """Degenerate distribution: always returns ``value``."""
+
+    value: float
+
+    def sample(self, stream: random.Random) -> float:
+        return self.value
+
+    @property
+    def mean(self) -> float:
+        return self.value
+
+
+@dataclass(frozen=True)
+class Erlang(Distribution):
+    """Erlang distribution: sum of ``k`` exponentials with the given stage mean.
+
+    The total execution time of an ``m``-subtask global task is Erlang with
+    ``k = m`` stages; we expose the distribution mainly for analytical
+    checks in tests.
+    """
+
+    k: int
+    stage_mean: float
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ValueError(f"Erlang needs k >= 1 stages, got {self.k}")
+        if self.stage_mean <= 0:
+            raise ValueError(f"Erlang stage mean must be positive: {self.stage_mean}")
+
+    def sample(self, stream: random.Random) -> float:
+        rate = 1.0 / self.stage_mean
+        return sum(stream.expovariate(rate) for _ in range(self.k))
+
+    @property
+    def mean(self) -> float:
+        return self.k * self.stage_mean
+
+
+@dataclass(frozen=True)
+class DiscreteUniform(Distribution):
+    """Uniform choice over the integers ``low..high`` inclusive.
+
+    Used by the "variable number of subtasks" variation (Sec. 4.3).
+    """
+
+    low: int
+    high: int
+
+    def __post_init__(self) -> None:
+        if self.high < self.low:
+            raise ValueError(
+                f"discrete uniform needs low <= high, got [{self.low}, {self.high}]"
+            )
+
+    def sample(self, stream: random.Random) -> int:
+        return stream.randint(self.low, self.high)
+
+    @property
+    def mean(self) -> float:
+        return (self.low + self.high) / 2.0
+
+
+@dataclass(frozen=True)
+class Choice(Distribution):
+    """Uniform choice from an explicit sequence of values."""
+
+    values: tuple
+
+    def __init__(self, values: Sequence) -> None:
+        object.__setattr__(self, "values", tuple(values))
+        if not self.values:
+            raise ValueError("Choice needs at least one value")
+
+    def sample(self, stream: random.Random):
+        return stream.choice(self.values)
+
+    @property
+    def mean(self) -> float:
+        return sum(self.values) / len(self.values)
+
+
+@dataclass(frozen=True)
+class UniformErrorFactor(Distribution):
+    """Multiplicative estimation-error factor ``U[1 - e, 1 + e]``.
+
+    Models the Sec. 4.3 "random error is introduced into the task execution
+    time estimate" variation: ``pex(X) = ex(X) * factor``.  ``error = 0``
+    reproduces the baseline's perfect prediction.
+    """
+
+    error: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.error < 1.0:
+            raise ValueError(f"relative error must lie in [0, 1), got {self.error}")
+
+    def sample(self, stream: random.Random) -> float:
+        if self.error == 0.0:
+            return 1.0
+        return stream.uniform(1.0 - self.error, 1.0 + self.error)
+
+    @property
+    def mean(self) -> float:
+        return 1.0
+
+
+@dataclass(frozen=True)
+class LognormalErrorFactor(Distribution):
+    """Multiplicative error factor that is lognormal with median 1.
+
+    ``sigma`` is the standard deviation of the underlying normal; larger
+    values give heavier-tailed over/under-estimation.  An alternative error
+    model for robustness experiments (always positive, skewed).
+    """
+
+    sigma: float
+
+    def __post_init__(self) -> None:
+        if self.sigma < 0:
+            raise ValueError(f"sigma must be non-negative: {self.sigma}")
+
+    def sample(self, stream: random.Random) -> float:
+        if self.sigma == 0.0:
+            return 1.0
+        return stream.lognormvariate(0.0, self.sigma)
+
+    @property
+    def mean(self) -> float:
+        return math.exp(self.sigma ** 2 / 2.0)
+
+
+def exponential_interarrival(rate: float) -> Exponential:
+    """Interarrival-time distribution of a Poisson process with ``rate``.
+
+    Convenience helper: the paper specifies arrivals as "Poisson with mean
+    interarrival time 1/lambda"; this returns ``Exponential(1/rate)``.
+    """
+    if rate <= 0:
+        raise ValueError(f"Poisson process rate must be positive: {rate}")
+    return Exponential(1.0 / rate)

@@ -1,0 +1,196 @@
+"""Observation collection for simulations.
+
+Two collector flavors, mirroring classic simulation-language monitors
+(DeNet, SIMSCRIPT):
+
+* :class:`Tally` -- observation-based statistics (one value per completed
+  task): count, mean, variance, min/max, via Welford's online algorithm.
+* :class:`TimeWeighted` -- time-weighted statistics for piecewise-constant
+  signals such as queue length or server utilization.
+
+Both support a *warm-up reset*: experiments discard the transient start-up
+phase by calling :meth:`reset` at the end of the warm-up period.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+
+class Tally:
+    """Streaming summary of individual observations (Welford's algorithm)."""
+
+    __slots__ = ("name", "count", "_mean", "_m2", "min", "max", "total")
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self.total = 0.0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.count += 1
+        self.total += value
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        """Sample mean (``nan`` with no observations)."""
+        return self._mean if self.count else math.nan
+
+    @property
+    def variance(self) -> float:
+        """Unbiased sample variance (``nan`` with fewer than 2 observations)."""
+        if self.count < 2:
+            return math.nan
+        return self._m2 / (self.count - 1)
+
+    @property
+    def stdev(self) -> float:
+        """Sample standard deviation."""
+        var = self.variance
+        return math.sqrt(var) if not math.isnan(var) else math.nan
+
+    def reset(self) -> None:
+        """Discard everything recorded so far (warm-up truncation)."""
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self.total = 0.0
+
+    def merge(self, other: "Tally") -> None:
+        """Fold another tally into this one (parallel-batch combination)."""
+        if other.count == 0:
+            return
+        if self.count == 0:
+            self.count = other.count
+            self._mean = other._mean
+            self._m2 = other._m2
+            self.min = other.min
+            self.max = other.max
+            self.total = other.total
+            return
+        n1, n2 = self.count, other.count
+        delta = other._mean - self._mean
+        total_n = n1 + n2
+        self._mean += delta * n2 / total_n
+        self._m2 += other._m2 + delta * delta * n1 * n2 / total_n
+        self.count = total_n
+        self.total += other.total
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+
+    def __repr__(self) -> str:
+        return (
+            f"Tally({self.name!r}, n={self.count}, mean={self.mean:.4g}, "
+            f"sd={self.stdev:.4g})"
+        )
+
+
+class TimeWeighted:
+    """Time-weighted statistics of a piecewise-constant signal.
+
+    Call :meth:`update` whenever the signal changes.  The mean is weighted
+    by how long each value was held::
+
+        util = TimeWeighted(env_now=0.0)
+        util.update(1.0, now=2.0)   # signal was 0 during [0, 2)
+        util.update(0.0, now=5.0)   # signal was 1 during [2, 5)
+        util.mean_at(10.0)          # -> 3/10
+    """
+
+    __slots__ = ("name", "_value", "_last_time", "_area", "_start_time", "min", "max")
+
+    def __init__(self, name: str = "", initial: float = 0.0, start_time: float = 0.0) -> None:
+        self.name = name
+        self._value = initial
+        self._last_time = start_time
+        self._start_time = start_time
+        self._area = 0.0
+        self.min = initial
+        self.max = initial
+
+    @property
+    def value(self) -> float:
+        """Current value of the signal."""
+        return self._value
+
+    def update(self, value: float, now: float) -> None:
+        """Change the signal to ``value`` at time ``now``."""
+        if now < self._last_time:
+            raise ValueError(
+                f"time went backwards: {now} < {self._last_time} in {self.name!r}"
+            )
+        self._area += self._value * (now - self._last_time)
+        self._last_time = now
+        self._value = value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def increment(self, delta: float, now: float) -> None:
+        """Shift the signal by ``delta`` (e.g., queue length +1/-1)."""
+        self.update(self._value + delta, now)
+
+    def mean_at(self, now: float) -> float:
+        """Time-weighted mean over ``[start_time, now]``."""
+        elapsed = now - self._start_time
+        if elapsed <= 0:
+            return math.nan
+        area = self._area + self._value * (now - self._last_time)
+        return area / elapsed
+
+    def reset(self, now: float) -> None:
+        """Restart accumulation at time ``now``, keeping the current value."""
+        self._area = 0.0
+        self._last_time = now
+        self._start_time = now
+        self.min = self._value
+        self.max = self._value
+
+    def __repr__(self) -> str:
+        return f"TimeWeighted({self.name!r}, value={self._value!r})"
+
+
+class Series:
+    """Optional raw-observation recorder (kept out of hot paths by default).
+
+    Stores ``(time, value)`` pairs for post-hoc analysis or plotting.  The
+    simulation façade only attaches these when tracing is requested, since
+    recording every task would dominate memory for long runs.
+    """
+
+    __slots__ = ("name", "times", "values", "limit")
+
+    def __init__(self, name: str = "", limit: Optional[int] = None) -> None:
+        self.name = name
+        self.times: List[float] = []
+        self.values: List[float] = []
+        self.limit = limit
+
+    def record(self, time: float, value: float) -> None:
+        """Append one observation, honoring the optional ``limit``."""
+        if self.limit is not None and len(self.times) >= self.limit:
+            return
+        self.times.append(time)
+        self.values.append(value)
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def __repr__(self) -> str:
+        return f"Series({self.name!r}, n={len(self.times)})"

@@ -1,0 +1,148 @@
+"""Generator-based simulation processes.
+
+A *process* wraps a Python generator.  The generator models an active
+entity (a task source, a node's server loop, a process manager walking a
+task tree).  Each time the generator ``yield``s an :class:`Event`, the
+process suspends until the event fires, then resumes with the event's
+value (or with the event's exception thrown into it).
+
+A :class:`Process` is itself an event: it fires when its generator ends,
+carrying the generator's return value.  That makes "fork/join" trivial::
+
+    children = [env.process(run_subtask(env, t)) for t in subtasks]
+    yield env.all_of(children)      # parallel join
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from .core import Environment, Event, URGENT
+from .errors import Interrupt, ProcessError
+
+
+class Process(Event):
+    """A running simulation process (and the event of its termination)."""
+
+    __slots__ = ("_generator", "_target", "name")
+
+    def __init__(
+        self,
+        env: Environment,
+        generator: Generator,
+        name: Optional[str] = None,
+    ) -> None:
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise ProcessError(
+                f"process body must be a generator, got {generator!r}"
+            )
+        super().__init__(env)
+        self._generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        #: The event this process is currently waiting on (``None`` when the
+        #: process is active or finished).
+        self._target: Optional[Event] = None
+        # Kick the process off at the current time, ahead of normal events.
+        init = Event(env)
+        init._ok = True
+        init._value = None
+        init.callbacks.append(self._resume)
+        env._schedule(init, URGENT, 0.0)
+
+    # -- inspection --------------------------------------------------------
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the underlying generator has not exited."""
+        return not self.triggered
+
+    @property
+    def target(self) -> Optional[Event]:
+        """The event the process is currently waiting for."""
+        return self._target
+
+    # -- interruption ------------------------------------------------------
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        Interrupting a dead process is an error; interrupting a process
+        twice before it resumes queues both interrupts in order.
+        """
+        if not self.is_alive:
+            raise ProcessError(f"cannot interrupt dead process {self.name!r}")
+        if self.env.active_process is self:
+            raise ProcessError("a process cannot interrupt itself")
+        poke = Event(self.env)
+        poke._ok = False
+        poke._value = Interrupt(cause)
+        poke._defused = True
+        poke.callbacks.append(self._resume)
+        self.env._schedule(poke, URGENT, 0.0)
+
+    # -- engine --------------------------------------------------------------
+
+    def _resume(self, trigger: Event) -> None:
+        """Advance the generator with the value/exception of ``trigger``."""
+        self.env._active_process = self
+        # Detach from the event we were waiting on (relevant for interrupts:
+        # the original target may fire later and must not resume us again).
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._target = None
+
+        try:
+            if trigger._ok:
+                target = self._generator.send(trigger._value)
+            else:
+                # The exception was "handed over" to this process.
+                trigger.defuse()
+                target = self._generator.throw(trigger._value)
+        except StopIteration as stop:
+            self.env._active_process = None
+            self.succeed(stop.value)
+            return
+        except Interrupt as exc:
+            # An unhandled interrupt terminates the process abnormally but
+            # is not a model bug: the process event fails with the cause.
+            self.env._active_process = None
+            self.fail(exc)
+            return
+        except BaseException as exc:
+            self.env._active_process = None
+            self.fail(exc)
+            return
+        self.env._active_process = None
+
+        if not isinstance(target, Event):
+            error = ProcessError(
+                f"process {self.name!r} yielded {target!r}; processes may "
+                "only yield Event instances"
+            )
+            try:
+                self._generator.throw(error)
+            except StopIteration:
+                self.succeed(None)
+            except BaseException as exc:
+                self.fail(exc)
+            return
+        if target.callbacks is None:
+            # Already processed: resume immediately at the current time.
+            poke = Event(self.env)
+            poke._ok = target._ok
+            poke._value = target._value
+            if not target._ok:
+                target.defuse()
+                poke._defused = True
+            poke.callbacks.append(self._resume)
+            self.env._schedule(poke, URGENT, 0.0)
+        else:
+            target.callbacks.append(self._resume)
+            self._target = target
+
+    def __repr__(self) -> str:
+        state = "alive" if self.is_alive else "dead"
+        return f"<Process {self.name!r} {state} at {id(self):#x}>"

@@ -1,0 +1,35 @@
+"""Output analysis: confidence intervals, batch means, queueing formulas,
+and ASCII reporting."""
+
+from .batch_means import batch_means_interval, split_batches
+from .confidence import IntervalEstimate, interval_from_samples, t_quantile
+from .queueing import (
+    erlang_mean_and_variance,
+    expected_max_exponential,
+    md1_mean_wait,
+    mg1_mean_wait,
+    mm1_mean_number_in_queue,
+    mm1_mean_response,
+    mm1_mean_wait,
+    utilization,
+)
+from .tables import format_percent, render_chart, render_table
+
+__all__ = [
+    "IntervalEstimate",
+    "batch_means_interval",
+    "erlang_mean_and_variance",
+    "expected_max_exponential",
+    "format_percent",
+    "interval_from_samples",
+    "md1_mean_wait",
+    "mg1_mean_wait",
+    "mm1_mean_number_in_queue",
+    "mm1_mean_response",
+    "mm1_mean_wait",
+    "render_chart",
+    "render_table",
+    "split_batches",
+    "t_quantile",
+    "utilization",
+]

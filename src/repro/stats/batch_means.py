@@ -1,0 +1,72 @@
+"""Batch-means confidence intervals for single long runs.
+
+Independent replications (``repro.experiments.runner``) are the primary
+output-analysis method here, but the paper's own method -- few, very long
+runs -- calls for **batch means**: split one run's observation sequence
+into ``k`` contiguous batches, treat the batch averages as approximately
+iid, and build a Student-t interval from them.  Valid when batches are long
+relative to the autocorrelation time of the process.
+
+The implementation is deliberately simple (fixed batch count, optional
+truncation of a warm-up prefix); the classic rules of thumb are documented
+on :func:`batch_means_interval`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from .confidence import IntervalEstimate, interval_from_samples
+
+
+def split_batches(observations: Sequence[float], batch_count: int) -> List[List[float]]:
+    """Split a sequence into ``batch_count`` contiguous, equal-size batches.
+
+    Trailing observations that do not fill a batch are dropped (standard
+    practice; they would bias the final batch mean toward recency).
+    """
+    if batch_count < 2:
+        raise ValueError(f"need at least 2 batches, got {batch_count}")
+    n = len(observations)
+    batch_size = n // batch_count
+    if batch_size < 1:
+        raise ValueError(
+            f"{n} observations cannot fill {batch_count} batches"
+        )
+    return [
+        list(observations[i * batch_size:(i + 1) * batch_size])
+        for i in range(batch_count)
+    ]
+
+
+def batch_means_interval(
+    observations: Sequence[float],
+    batch_count: int = 10,
+    level: float = 0.95,
+    discard_fraction: float = 0.0,
+) -> IntervalEstimate:
+    """Confidence interval for the steady-state mean from one long run.
+
+    Parameters
+    ----------
+    observations:
+        The raw per-task observations in completion order (e.g. 0/1 miss
+        indicators, waiting times).
+    batch_count:
+        Number of batches; 10-30 is the usual range.  More batches mean
+        more degrees of freedom but shorter (more correlated) batches.
+    level:
+        Confidence level of the Student-t interval.
+    discard_fraction:
+        Fraction of the *front* of the sequence dropped as warm-up before
+        batching (0 if the caller already truncated the transient).
+    """
+    if not 0.0 <= discard_fraction < 1.0:
+        raise ValueError(
+            f"discard fraction must lie in [0, 1), got {discard_fraction}"
+        )
+    start = int(len(observations) * discard_fraction)
+    kept = observations[start:]
+    batches = split_batches(kept, batch_count)
+    means = [sum(batch) / len(batch) for batch in batches]
+    return interval_from_samples(means, level=level)

@@ -1,0 +1,128 @@
+"""Confidence intervals for simulation output analysis.
+
+The paper reports 95% confidence intervals of about ±0.35 percentage points
+on miss ratios, obtained from two runs of one million time units.  We use
+the method of *independent replications*: each data point is estimated from
+``n`` runs with different seeds, and the half-width comes from the
+Student-t distribution with ``n - 1`` degrees of freedom.
+
+``scipy`` supplies the t quantile when available; otherwise Hill's series
+approximation keeps the package usable in a bare environment (relative
+error below 1% for dof >= 3 at the usual levels; ~4% in the worst corner,
+dof = 2 at the 99% level).
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+from dataclasses import dataclass
+from typing import Sequence
+
+try:  # pragma: no cover - import guard
+    from scipy import stats as _scipy_stats
+except ImportError:  # pragma: no cover
+    _scipy_stats = None
+
+
+def t_quantile(p: float, dof: int) -> float:
+    """Two-sided Student-t critical value: ``P(|T| <= t) = p``.
+
+    ``p`` is the confidence level (e.g., 0.95), ``dof`` the degrees of
+    freedom.
+    """
+    if not 0.0 < p < 1.0:
+        raise ValueError(f"confidence level must lie in (0, 1), got {p}")
+    if dof < 1:
+        raise ValueError(f"degrees of freedom must be >= 1, got {dof}")
+    upper_tail = (1.0 + p) / 2.0
+    if _scipy_stats is not None:
+        return float(_scipy_stats.t.ppf(upper_tail, dof))
+    return _t_quantile_approx(upper_tail, dof)
+
+
+def _t_quantile_approx(q: float, dof: int) -> float:
+    """Hill's approximation of the t quantile (no scipy fallback)."""
+    z = _normal_quantile(q)
+    g1 = (z**3 + z) / 4.0
+    g2 = (5 * z**5 + 16 * z**3 + 3 * z) / 96.0
+    g3 = (3 * z**7 + 19 * z**5 + 17 * z**3 - 15 * z) / 384.0
+    g4 = (79 * z**9 + 776 * z**7 + 1482 * z**5 - 1920 * z**3 - 945 * z) / 92160.0
+    n = float(dof)
+    return z + g1 / n + g2 / n**2 + g3 / n**3 + g4 / n**4
+
+
+def _normal_quantile(q: float) -> float:
+    """Acklam's rational approximation of the standard normal quantile."""
+    if not 0.0 < q < 1.0:
+        raise ValueError(f"quantile argument must lie in (0, 1), got {q}")
+    # Coefficients for the central and tail regions.
+    a = (-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02,
+         1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00)
+    b = (-5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02,
+         6.680131188771972e+01, -1.328068155288572e+01)
+    c = (-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00,
+         -2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00)
+    d = (7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00,
+         3.754408661907416e+00)
+    p_low = 0.02425
+    if q < p_low:
+        u = math.sqrt(-2.0 * math.log(q))
+        return (((((c[0] * u + c[1]) * u + c[2]) * u + c[3]) * u + c[4]) * u + c[5]) / \
+               ((((d[0] * u + d[1]) * u + d[2]) * u + d[3]) * u + 1.0)
+    if q > 1.0 - p_low:
+        u = math.sqrt(-2.0 * math.log(1.0 - q))
+        return -(((((c[0] * u + c[1]) * u + c[2]) * u + c[3]) * u + c[4]) * u + c[5]) / \
+                ((((d[0] * u + d[1]) * u + d[2]) * u + d[3]) * u + 1.0)
+    u = q - 0.5
+    r = u * u
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * u / \
+           (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0)
+
+
+@dataclass(frozen=True)
+class IntervalEstimate:
+    """A point estimate with a symmetric confidence interval."""
+
+    mean: float
+    half_width: float
+    level: float
+    n: int
+
+    @property
+    def low(self) -> float:
+        return self.mean - self.half_width
+
+    @property
+    def high(self) -> float:
+        return self.mean + self.half_width
+
+    def contains(self, value: float) -> bool:
+        """True if ``value`` lies inside the interval."""
+        return self.low <= value <= self.high
+
+    def overlaps(self, other: "IntervalEstimate") -> bool:
+        """True if the two intervals intersect (quick significance check)."""
+        return self.low <= other.high and other.low <= self.high
+
+    def __str__(self) -> str:
+        return f"{self.mean:.4f} ± {self.half_width:.4f}"
+
+
+def interval_from_samples(
+    samples: Sequence[float], level: float = 0.95
+) -> IntervalEstimate:
+    """Mean and t-based confidence half-width from raw replication values.
+
+    A single sample gets an infinite half-width (no variance information),
+    which correctly signals "do more replications" downstream.
+    """
+    values = [float(v) for v in samples]
+    if not values:
+        raise ValueError("need at least one sample")
+    mean = statistics.fmean(values)
+    if len(values) == 1:
+        return IntervalEstimate(mean=mean, half_width=math.inf, level=level, n=1)
+    sd = statistics.stdev(values)
+    half = t_quantile(level, len(values) - 1) * sd / math.sqrt(len(values))
+    return IntervalEstimate(mean=mean, half_width=half, level=level, n=len(values))

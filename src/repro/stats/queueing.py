@@ -1,0 +1,116 @@
+"""Closed-form queueing results used to validate the simulator.
+
+The reproduction's credibility rests on the discrete-event substrate being
+*correct*, not just plausible.  This module collects the classical results
+that our workload model admits in special cases, and the validation tests
+(`tests/stats/test_queueing_validation.py`) drive the real simulator into
+those corners and compare:
+
+* a single node fed only by one Poisson local-task stream is an **M/M/1**
+  queue when service is exponential, and an **M/G/1** queue in general --
+  mean waiting time from the Pollaczek-Khinchine formula;
+* with ``k`` nodes and per-node independent streams, each node is its own
+  M/M/1 (the paper's local-only limit ``frac_local = 1``);
+* the expected maximum of ``n`` iid exponentials is ``H_n / mu`` -- the
+  critical-path arithmetic behind the parallel slack scaling.
+
+All formulas assume stability (``rho < 1``) and FCFS order.  Deadline-driven
+service order does not change *mean* waiting time for the class as a whole
+(service order is work-conserving and non-preemptive), so the M/M/1 and
+M/G/1 means also validate runs under EDF -- a property the validation tests
+exploit.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def utilization(arrival_rate: float, service_rate: float) -> float:
+    """Offered load ``rho = lambda / mu``."""
+    _check_rates(arrival_rate, service_rate)
+    return arrival_rate / service_rate
+
+
+def mm1_mean_wait(arrival_rate: float, service_rate: float) -> float:
+    """Mean time in queue (excluding service) of an M/M/1 queue.
+
+    ``W_q = rho / (mu - lambda)``.
+    """
+    rho = _stable_rho(arrival_rate, service_rate)
+    return rho / (service_rate - arrival_rate)
+
+
+def mm1_mean_response(arrival_rate: float, service_rate: float) -> float:
+    """Mean time in system (queue + service) of an M/M/1 queue."""
+    _stable_rho(arrival_rate, service_rate)
+    return 1.0 / (service_rate - arrival_rate)
+
+
+def mm1_mean_number_in_queue(arrival_rate: float, service_rate: float) -> float:
+    """Mean number waiting (excluding the one in service): ``rho^2/(1-rho)``."""
+    rho = _stable_rho(arrival_rate, service_rate)
+    return rho * rho / (1.0 - rho)
+
+
+def mg1_mean_wait(
+    arrival_rate: float,
+    mean_service: float,
+    second_moment_service: float,
+) -> float:
+    """Pollaczek-Khinchine: mean queueing delay of an M/G/1 queue.
+
+    ``W_q = lambda * E[S^2] / (2 (1 - rho))`` with ``rho = lambda E[S]``.
+    """
+    if mean_service <= 0:
+        raise ValueError(f"mean service time must be positive: {mean_service}")
+    if second_moment_service < mean_service**2:
+        raise ValueError(
+            "E[S^2] must be at least (E[S])^2 "
+            f"({second_moment_service} < {mean_service ** 2})"
+        )
+    rho = arrival_rate * mean_service
+    if not 0.0 <= rho < 1.0:
+        raise ValueError(f"unstable queue: rho = {rho}")
+    return arrival_rate * second_moment_service / (2.0 * (1.0 - rho))
+
+
+def md1_mean_wait(arrival_rate: float, service_time: float) -> float:
+    """M/D/1 mean queueing delay (deterministic service): half the M/M/1's."""
+    return mg1_mean_wait(arrival_rate, service_time, service_time**2)
+
+
+def expected_max_exponential(n: int, mean: float) -> float:
+    """``E[max of n iid Exp(mean)] = mean * H_n``.
+
+    The expected critical path of a parallel fan -- what the workload model
+    uses to scale slack for serial-parallel trees.
+    """
+    if n < 1:
+        raise ValueError(f"need n >= 1, got {n}")
+    if mean <= 0:
+        raise ValueError(f"mean must be positive: {mean}")
+    return mean * sum(1.0 / i for i in range(1, n + 1))
+
+
+def erlang_mean_and_variance(k: int, stage_mean: float) -> tuple[float, float]:
+    """Mean and variance of a k-stage Erlang (a serial chain's total ex)."""
+    if k < 1:
+        raise ValueError(f"need k >= 1 stages, got {k}")
+    if stage_mean <= 0:
+        raise ValueError(f"stage mean must be positive: {stage_mean}")
+    return k * stage_mean, k * stage_mean**2
+
+
+def _check_rates(arrival_rate: float, service_rate: float) -> None:
+    if arrival_rate < 0:
+        raise ValueError(f"arrival rate must be non-negative: {arrival_rate}")
+    if service_rate <= 0:
+        raise ValueError(f"service rate must be positive: {service_rate}")
+
+
+def _stable_rho(arrival_rate: float, service_rate: float) -> float:
+    rho = utilization(arrival_rate, service_rate)
+    if rho >= 1.0:
+        raise ValueError(f"unstable queue: rho = {rho} >= 1")
+    return rho

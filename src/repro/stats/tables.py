@@ -1,0 +1,140 @@
+"""ASCII rendering of result tables and figure series.
+
+No plotting library is available offline, so every figure of the paper is
+regenerated as (a) a numeric table and (b) an ASCII line chart.  Both are
+plain functions over plain data -- the experiment harness stays free of
+formatting concerns.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Mapping, Optional, Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render a monospace table with column alignment.
+
+    Floats are shown with four significant digits; ``nan`` renders as
+    ``"-"`` so sparse sweeps stay readable.
+    """
+    formatted: List[List[str]] = [[_format_cell(c) for c in row] for row in rows]
+    columns = [list(col) for col in zip(*([list(headers)] + formatted))] if rows else [
+        [h] for h in headers
+    ]
+    widths = [max(len(cell) for cell in col) for col in columns]
+
+    def line(cells: Sequence[str]) -> str:
+        return " | ".join(cell.rjust(w) for cell, w in zip(cells, widths))
+
+    out: List[str] = []
+    if title:
+        out.append(title)
+    out.append(line(list(headers)))
+    out.append("-+-".join("-" * w for w in widths))
+    for row in formatted:
+        out.append(line(row))
+    return "\n".join(out)
+
+
+def _format_cell(cell: object) -> str:
+    if isinstance(cell, float):
+        if math.isnan(cell):
+            return "-"
+        return f"{cell:.4g}"
+    return str(cell)
+
+
+#: Glyphs used for multi-series ASCII charts, in assignment order.
+_MARKERS = "ox+*#@%&"
+
+
+def render_chart(
+    x_values: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    width: int = 64,
+    height: int = 18,
+    title: Optional[str] = None,
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Render one or more y(x) series as an ASCII scatter/line chart.
+
+    Each series gets a marker glyph; the legend maps glyphs to labels.
+    Intended for the paper's figures: a handful of short monotone-ish
+    series.  ``nan`` points are skipped.
+    """
+    if width < 16 or height < 4:
+        raise ValueError("chart too small to be legible")
+    if not series:
+        raise ValueError("need at least one series")
+    if len(series) > len(_MARKERS):
+        raise ValueError(f"too many series ({len(series)}); max {len(_MARKERS)}")
+
+    points: Dict[str, List[tuple]] = {}
+    all_y: List[float] = []
+    all_x: List[float] = []
+    for label, ys in series.items():
+        if len(ys) != len(x_values):
+            raise ValueError(
+                f"series {label!r} has {len(ys)} points for {len(x_values)} x values"
+            )
+        pts = [
+            (x, y)
+            for x, y in zip(x_values, ys)
+            if not (isinstance(y, float) and math.isnan(y))
+        ]
+        points[label] = pts
+        all_y.extend(y for _, y in pts)
+        all_x.extend(x for x, _ in pts)
+    if not all_y:
+        raise ValueError("no finite points to plot")
+
+    x_min, x_max = min(all_x), max(all_x)
+    y_min, y_max = min(all_y), max(all_y)
+    if x_max == x_min:
+        x_max = x_min + 1.0
+    if y_max == y_min:
+        y_max = y_min + 1.0
+    # Pad the y range slightly so extremes do not sit on the frame.
+    pad = 0.05 * (y_max - y_min)
+    y_min -= pad
+    y_max += pad
+
+    grid = [[" "] * width for _ in range(height)]
+    for marker, (label, pts) in zip(_MARKERS, points.items()):
+        for x, y in pts:
+            col = round((x - x_min) / (x_max - x_min) * (width - 1))
+            row = round((y - y_min) / (y_max - y_min) * (height - 1))
+            grid[height - 1 - row][col] = marker
+
+    out: List[str] = []
+    if title:
+        out.append(title)
+    if y_label:
+        out.append(y_label)
+    out.append(f"{y_max:8.3f} +" + "-" * width + "+")
+    for row in grid:
+        out.append(" " * 9 + "|" + "".join(row) + "|")
+    out.append(f"{y_min:8.3f} +" + "-" * width + "+")
+    out.append(
+        " " * 10 + f"{x_min:<12.4g}" + " " * max(0, width - 24) + f"{x_max:>12.4g}"
+    )
+    if x_label:
+        out.append(" " * 10 + x_label.center(width))
+    legend = "   ".join(
+        f"{marker}={label}" for marker, label in zip(_MARKERS, points)
+    )
+    out.append(" " * 10 + legend)
+    return "\n".join(out)
+
+
+def format_percent(value: float) -> str:
+    """``0.237`` -> ``"23.7%"`` (``nan`` -> ``"-"``)."""
+    if math.isnan(value):
+        return "-"
+    return f"{100.0 * value:.1f}%"

@@ -1,0 +1,89 @@
+"""System model: nodes, schedulers, process manager, workload, simulation."""
+
+from .config import (
+    PARALLEL,
+    SERIAL,
+    SERIAL_PARALLEL,
+    SystemConfig,
+    baseline_config,
+    expected_frac_local,
+    harmonic,
+    parallel_baseline_config,
+    serial_parallel_config,
+    verify_load_arithmetic,
+)
+from .metrics import ClassStats, MetricsCollector, NodeStats, RunResult
+from .node import Node
+from .preemptive import PreemptiveNode
+from .overload import (
+    OVERLOAD_POLICIES,
+    AbortTardyAtDispatch,
+    NoAbort,
+    OverloadPolicy,
+    get_overload_policy,
+)
+from .process_manager import GlobalTaskOutcome, ProcessManager
+from .schedulers import (
+    POLICIES,
+    EarliestDeadlineFirst,
+    FirstComeFirstServed,
+    MinimumLaxityFirst,
+    ReadyQueue,
+    SchedulingPolicy,
+    get_policy,
+)
+from .simulation import Simulation, simulate
+from .tracing import TraceEvent, TraceLog
+from .work import WorkUnit
+from .workload import (
+    GlobalTaskFactory,
+    GlobalTaskSource,
+    LocalTaskSource,
+    ParallelFanFactory,
+    SerialChainFactory,
+    SerialParallelFactory,
+)
+
+__all__ = [
+    "AbortTardyAtDispatch",
+    "ClassStats",
+    "EarliestDeadlineFirst",
+    "FirstComeFirstServed",
+    "GlobalTaskFactory",
+    "GlobalTaskOutcome",
+    "GlobalTaskSource",
+    "LocalTaskSource",
+    "MetricsCollector",
+    "MinimumLaxityFirst",
+    "NoAbort",
+    "Node",
+    "NodeStats",
+    "OVERLOAD_POLICIES",
+    "OverloadPolicy",
+    "PARALLEL",
+    "POLICIES",
+    "ParallelFanFactory",
+    "PreemptiveNode",
+    "ProcessManager",
+    "ReadyQueue",
+    "RunResult",
+    "SERIAL",
+    "SERIAL_PARALLEL",
+    "SchedulingPolicy",
+    "SerialChainFactory",
+    "SerialParallelFactory",
+    "Simulation",
+    "SystemConfig",
+    "TraceEvent",
+    "TraceLog",
+    "WorkUnit",
+    "baseline_config",
+    "expected_frac_local",
+    "get_overload_policy",
+    "get_policy",
+    "harmonic",
+    "parallel_baseline_config",
+    "serial_parallel_config",
+    "simulate",
+    "verify_load_arithmetic",
+]

@@ -1,0 +1,233 @@
+"""Missed-deadline and queueing metrics (the paper's measurements).
+
+The paper's primary performance measure is the *percentage of missed
+deadlines* ("miss ratio"), conditioned on task class: ``MD_local`` and
+``MD_global``.  This module collects those plus the supporting statistics a
+practitioner wants when debugging a run: response times, lateness, waiting
+times, per-node utilization and queue lengths.
+
+Warm-up: experiments call :meth:`MetricsCollector.reset` at the end of the
+transient phase; only completions recorded after the reset count.  (Tasks
+that *arrived* before the reset but finish after it still count -- standard
+practice for steady-state miss-ratio estimation, and the bias vanishes as
+the window grows.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..core.task import TaskClass
+from ..sim.monitor import Tally, TimeWeighted
+from .work import WorkUnit
+
+
+@dataclass(frozen=True)
+class ClassStats:
+    """Immutable snapshot of one task class's outcome statistics."""
+
+    completed: int
+    missed: int
+    aborted: int
+    mean_response: float
+    mean_lateness: float
+    mean_waiting: float
+
+    @property
+    def miss_ratio(self) -> float:
+        """Fraction of finished tasks that missed their deadline.
+
+        Aborted tasks count as missed (they certainly did not finish in
+        time).  Returns ``nan`` when nothing finished.
+        """
+        total = self.completed + self.aborted
+        if total == 0:
+            return float("nan")
+        return self.missed / total
+
+
+@dataclass(frozen=True)
+class NodeStats:
+    """Immutable snapshot of one node's load statistics."""
+
+    index: int
+    utilization: float
+    mean_queue_length: float
+    dispatched: int
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Everything measured in one simulation run."""
+
+    sim_time: float
+    warmup: float
+    per_class: Dict[str, ClassStats]
+    per_node: List[NodeStats]
+
+    @property
+    def local(self) -> ClassStats:
+        return self.per_class[TaskClass.LOCAL.value]
+
+    @property
+    def global_(self) -> ClassStats:
+        return self.per_class[TaskClass.GLOBAL.value]
+
+    @property
+    def md_local(self) -> float:
+        """``MD_local``: miss ratio of local tasks."""
+        return self.local.miss_ratio
+
+    @property
+    def md_global(self) -> float:
+        """``MD_global``: miss ratio of global tasks (end-to-end)."""
+        return self.global_.miss_ratio
+
+    @property
+    def mean_utilization(self) -> float:
+        """Average utilization across nodes (sanity check against ``load``)."""
+        if not self.per_node:
+            return float("nan")
+        return sum(n.utilization for n in self.per_node) / len(self.per_node)
+
+
+class _ClassAccumulator:
+    """Mutable per-class counters behind :class:`ClassStats`."""
+
+    __slots__ = ("completed", "missed", "aborted", "response", "lateness", "waiting")
+
+    def __init__(self, label: str) -> None:
+        self.completed = 0
+        self.missed = 0
+        self.aborted = 0
+        self.response = Tally(f"{label}/response")
+        self.lateness = Tally(f"{label}/lateness")
+        self.waiting = Tally(f"{label}/waiting")
+
+    def reset(self) -> None:
+        self.completed = 0
+        self.missed = 0
+        self.aborted = 0
+        self.response.reset()
+        self.lateness.reset()
+        self.waiting.reset()
+
+    def snapshot(self) -> ClassStats:
+        return ClassStats(
+            completed=self.completed,
+            missed=self.missed,
+            aborted=self.aborted,
+            mean_response=self.response.mean,
+            mean_lateness=self.lateness.mean,
+            mean_waiting=self.waiting.mean,
+        )
+
+
+class MetricsCollector:
+    """Central sink for task outcomes and node load signals."""
+
+    def __init__(self, node_count: int) -> None:
+        self._classes: Dict[TaskClass, _ClassAccumulator] = {
+            cls: _ClassAccumulator(cls.value) for cls in TaskClass
+        }
+        self.node_busy: List[TimeWeighted] = [
+            TimeWeighted(f"node-{i}/busy") for i in range(node_count)
+        ]
+        self.node_queue: List[TimeWeighted] = [
+            TimeWeighted(f"node-{i}/queue") for i in range(node_count)
+        ]
+        self.node_dispatched: List[int] = [0] * node_count
+        self._warmup_end = 0.0
+        #: Optional execution tracer (see :mod:`repro.system.tracing`).
+        #: ``None`` keeps the hot path free of tracing overhead.
+        self.tracer = None
+
+    def trace(self, time: float, kind: str, unit, node_index: int) -> None:
+        """Forward one scheduling event to the tracer, if attached."""
+        if self.tracer is not None:
+            self.tracer.record(time, kind, unit, node_index)
+
+    # -- recording ---------------------------------------------------------
+
+    def record_unit_completion(self, unit: WorkUnit) -> None:
+        """Record the outcome of a finished *local* work unit.
+
+        Global subtasks are not recorded here: the paper's ``MD_global`` is
+        an end-to-end measure, recorded once per global task by
+        :meth:`record_global_completion`.
+        """
+        if unit.task_class is not TaskClass.LOCAL:
+            return
+        self._record(self._classes[TaskClass.LOCAL], unit)
+
+    def record_global_completion(
+        self,
+        timing_missed: bool,
+        aborted: bool,
+        response_time: float,
+        lateness: float,
+    ) -> None:
+        """Record the end-to-end outcome of one global task."""
+        acc = self._classes[TaskClass.GLOBAL]
+        if aborted:
+            acc.aborted += 1
+            acc.missed += 1
+            return
+        acc.completed += 1
+        if timing_missed:
+            acc.missed += 1
+        acc.response.observe(response_time)
+        acc.lateness.observe(lateness)
+
+    def _record(self, acc: _ClassAccumulator, unit: WorkUnit) -> None:
+        timing = unit.timing
+        if timing.aborted:
+            acc.aborted += 1
+            acc.missed += 1
+            return
+        acc.completed += 1
+        if timing.missed:
+            acc.missed += 1
+        acc.response.observe(timing.response_time)
+        acc.lateness.observe(timing.lateness)
+        if timing.started_at is not None:
+            acc.waiting.observe(timing.waiting_time)
+
+    def count_dispatch(self, node_index: int) -> None:
+        """Count one dispatch decision at a node."""
+        self.node_dispatched[node_index] += 1
+
+    # -- warm-up and snapshots ----------------------------------------------
+
+    def reset(self, now: float) -> None:
+        """Discard the transient phase; statistics restart at ``now``."""
+        for acc in self._classes.values():
+            acc.reset()
+        for signal in self.node_busy:
+            signal.reset(now)
+        for signal in self.node_queue:
+            signal.reset(now)
+        self.node_dispatched = [0] * len(self.node_dispatched)
+        self._warmup_end = now
+
+    def snapshot(self, now: float) -> RunResult:
+        """Freeze current statistics into a :class:`RunResult`."""
+        per_node = [
+            NodeStats(
+                index=i,
+                utilization=self.node_busy[i].mean_at(now),
+                mean_queue_length=self.node_queue[i].mean_at(now),
+                dispatched=self.node_dispatched[i],
+            )
+            for i in range(len(self.node_busy))
+        ]
+        per_class = {
+            cls.value: acc.snapshot() for cls, acc in self._classes.items()
+        }
+        return RunResult(
+            sim_time=now,
+            warmup=self._warmup_end,
+            per_class=per_class,
+            per_node=per_node,
+        )

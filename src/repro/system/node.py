@@ -1,0 +1,116 @@
+"""A processing node: one resource with its own real-time scheduler.
+
+Each node (Sec. 3.2) models a system component -- database, expert system,
+compute engine, even a network hop -- with a non-preemptive server and a
+ready queue ordered by a :class:`~repro.system.schedulers.SchedulingPolicy`.
+Nodes are fully independent: they share no state and never coordinate,
+matching the paper's "open system" assumption.
+
+The server is a simulation process: it sleeps while the queue is empty,
+picks the highest-priority unit otherwise, optionally consults the overload
+policy (abort-at-dispatch), serves the unit for its *real* execution time,
+and fires the unit's completion event.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..sim.core import Environment, Event
+from .metrics import MetricsCollector
+from .overload import NoAbort, OverloadPolicy
+from .schedulers import ReadyQueue, SchedulingPolicy
+from .work import WorkUnit
+
+
+class Node:
+    """One independent processing component with its own scheduler."""
+
+    def __init__(
+        self,
+        env: Environment,
+        index: int,
+        policy: SchedulingPolicy,
+        metrics: MetricsCollector,
+        overload_policy: Optional[OverloadPolicy] = None,
+    ) -> None:
+        self.env = env
+        self.index = index
+        self.queue = ReadyQueue(policy)
+        self.metrics = metrics
+        self.overload_policy = overload_policy or NoAbort()
+        self._wakeup: Optional[Event] = None
+        self._busy = False
+        self.process = env.process(self._server())
+
+    # -- submission ---------------------------------------------------------
+
+    def submit(self, unit: WorkUnit) -> Event:
+        """Enqueue ``unit``; returns the unit's completion event.
+
+        The unit's ``timing.ar`` must be the current time (it is the
+        submission instant by definition), and its deadline must already be
+        assigned by the SDA strategy.
+        """
+        if unit.node_index != self.index:
+            raise ValueError(
+                f"{unit!r} routed to node {self.index}, expected "
+                f"{unit.node_index}"
+            )
+        self.queue.push(unit)
+        self.metrics.node_queue[self.index].increment(1, self.env.now)
+        self.metrics.trace(self.env.now, "submit", unit, self.index)
+        if self._wakeup is not None and not self._wakeup.triggered:
+            self._wakeup.succeed()
+        return unit.done
+
+    @property
+    def busy(self) -> bool:
+        """True while the server is executing a unit."""
+        return self._busy
+
+    @property
+    def queue_length(self) -> int:
+        """Number of units waiting (not including the one in service)."""
+        return len(self.queue)
+
+    # -- server loop ----------------------------------------------------------
+
+    def _server(self):
+        env = self.env
+        busy_signal = self.metrics.node_busy[self.index]
+        queue_signal = self.metrics.node_queue[self.index]
+        while True:
+            if not self.queue:
+                self._wakeup = env.event()
+                yield self._wakeup
+                self._wakeup = None
+            unit = self.queue.pop()
+            queue_signal.increment(-1, env.now)
+            self.metrics.count_dispatch(self.index)
+            timing = unit.timing
+
+            if self.overload_policy.should_abort_at_dispatch(unit, env.now):
+                timing.aborted = True
+                self.metrics.trace(env.now, "abort", unit, self.index)
+                self.metrics.record_unit_completion(unit)
+                unit.done.succeed(unit)
+                continue
+
+            self._busy = True
+            busy_signal.update(1, env.now)
+            timing.started_at = env.now
+            self.metrics.trace(env.now, "dispatch", unit, self.index)
+            yield env.timeout(timing.ex)
+            timing.completed_at = env.now
+            self._busy = False
+            busy_signal.update(0, env.now)
+            self.metrics.trace(env.now, "complete", unit, self.index)
+            self.metrics.record_unit_completion(unit)
+            unit.done.succeed(unit)
+
+    def __repr__(self) -> str:
+        return (
+            f"<Node {self.index} policy={self.queue.policy.name} "
+            f"queued={len(self.queue)} busy={self._busy}>"
+        )

@@ -1,0 +1,91 @@
+"""Overload management policies (Table 1: "No Abort" baseline).
+
+The paper's baseline never aborts tardy tasks ("tardy tasks are not
+aborted", Sec. 3.1); its firm-deadline variant, explored in Sec. 4.3 and
+references [6], [7], discards tasks whose deadline has already passed.
+
+With a non-preemptive server the natural realization of the firm variant is
+*abort at dispatch*: when the server would start a unit whose deadline has
+already expired, the unit is dropped without service.  Work already in
+service is never interrupted (non-preemptive), and dropping at dispatch is
+where the policy saves capacity -- the expired unit would have delayed
+everything behind it for no benefit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .work import WorkUnit
+
+
+class OverloadPolicy:
+    """Decides what happens to a unit whose deadline situation is bad."""
+
+    name: str = "abstract"
+
+    def should_abort_at_dispatch(self, unit: WorkUnit, now: float) -> bool:
+        """True if the node should discard ``unit`` instead of serving it."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<OverloadPolicy {self.name}>"
+
+
+class NoAbort(OverloadPolicy):
+    """Baseline: tardy tasks run to completion regardless."""
+
+    name = "no-abort"
+
+    def should_abort_at_dispatch(self, unit: WorkUnit, now: float) -> bool:
+        return False
+
+
+class AbortTardyAtDispatch(OverloadPolicy):
+    """Firm variant: discard units whose *natural* deadline passed.
+
+    The natural deadline of a local task is its own deadline; of a global
+    subtask, the end-to-end deadline of its global task.  A subtask past
+    its virtual deadline but inside the end-to-end deadline is still worth
+    running (the global task can recover), so this policy does not touch
+    it.  This matches the intent of firm-deadline scheduling: discard work
+    that can no longer contribute value.
+    """
+
+    name = "abort-tardy"
+
+    def should_abort_at_dispatch(self, unit: WorkUnit, now: float) -> bool:
+        return now > unit.natural_deadline
+
+
+class AbortVirtualAtDispatch(OverloadPolicy):
+    """Aggressive firm variant: discard units past their *virtual* deadline.
+
+    Models components that blindly discard any task whose assigned deadline
+    expired -- the paper's caveat for GF ("GF is not applicable to
+    components that discard tasks with a past deadline, virtual or not")
+    and, as our V2b bench shows, a policy that actively punishes aggressive
+    SDA strategies: tight virtual deadlines turn into spurious aborts of
+    still-viable global tasks.
+    """
+
+    name = "abort-virtual"
+
+    def should_abort_at_dispatch(self, unit: WorkUnit, now: float) -> bool:
+        return now > unit.timing.dl
+
+
+#: Policies by name, for configuration files and the CLI.
+OVERLOAD_POLICIES: Dict[str, OverloadPolicy] = {
+    policy.name: policy
+    for policy in (NoAbort(), AbortTardyAtDispatch(), AbortVirtualAtDispatch())
+}
+
+
+def get_overload_policy(name: str) -> OverloadPolicy:
+    """Look up an overload policy by (case-insensitive) name."""
+    try:
+        return OVERLOAD_POLICIES[name.lower()]
+    except KeyError:
+        known = ", ".join(sorted(OVERLOAD_POLICIES))
+        raise ValueError(f"unknown overload policy {name!r}; known: {known}")

@@ -1,0 +1,275 @@
+"""The process manager (Sec. 3.2): runs global tasks over the nodes.
+
+The process manager is the only component that sees a global task as a
+whole.  Its three jobs, quoted from the paper:
+
+1. assign deadlines to simple subtasks (delegated to a
+   :class:`~repro.core.strategies.DeadlineAssigner`),
+2. submit the simple subtasks to the appropriate nodes for execution,
+3. enforce the precedence constraints among the subtasks.
+
+Execution walks the serial-parallel tree:
+
+* a **serial** node runs its children in order; before each child starts,
+  the SSP strategy computes the child's virtual deadline *at that moment*,
+  so leftover slack (or tardiness) of earlier stages is visible;
+* a **parallel** node forks all children at once, giving each a virtual
+  deadline from the PSP strategy, and joins on all of them;
+* a **leaf** becomes a :class:`~repro.system.work.WorkUnit` at its node.
+
+Aborts: under a firm overload policy a node may discard a unit whose
+virtual deadline expired.  A serial chain cannot continue past a discarded
+stage, and a parallel group is incomplete if any member was discarded, so
+the whole global task is recorded as aborted (and missed).
+
+The paper does not model the manager's own resource consumption ("this
+consumption can be considered as additional subtasks"); neither do we.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..core.strategies import DeadlineAssigner
+from ..core.task import ParallelTask, SerialTask, SimpleTask, TaskClass, TaskNode
+from ..core.timing import TimingRecord
+from ..sim.core import Environment
+from ..sim.process import Process
+from .metrics import MetricsCollector
+from .node import Node
+from .work import WorkUnit
+
+_global_counter = itertools.count(1)
+
+
+@dataclass
+class GlobalTaskOutcome:
+    """End-to-end result of one global task."""
+
+    global_id: int
+    arrival: float
+    deadline: float
+    completed_at: Optional[float]
+    aborted: bool
+
+    @property
+    def missed(self) -> bool:
+        """True if the task was aborted or finished after its deadline."""
+        if self.aborted:
+            return True
+        return self.completed_at > self.deadline
+
+    @property
+    def response_time(self) -> float:
+        return (self.completed_at or 0.0) - self.arrival
+
+    @property
+    def lateness(self) -> float:
+        return (self.completed_at or 0.0) - self.deadline
+
+
+class _Aborted(Exception):
+    """Internal signal: a subtask was discarded, the task cannot complete."""
+
+
+class ProcessManager:
+    """Coordinates global tasks across the independent nodes."""
+
+    def __init__(
+        self,
+        env: Environment,
+        nodes: Sequence[Node],
+        assigner: DeadlineAssigner,
+        metrics: MetricsCollector,
+    ) -> None:
+        self.env = env
+        self.nodes = list(nodes)
+        self.assigner = assigner
+        self.metrics = metrics
+        #: Number of global tasks submitted so far (for tracing/tests).
+        self.submitted = 0
+
+    # -- public API ----------------------------------------------------------
+
+    def submit(self, tree: TaskNode, deadline: float) -> Process:
+        """Launch a global task with the given end-to-end deadline.
+
+        Returns the coordination process; its value (once it fires) is the
+        :class:`GlobalTaskOutcome`.  Metrics are recorded automatically.
+        """
+        if deadline < self.env.now:
+            # Permitted -- a soft real-time system may receive a task that
+            # is already hopeless -- but the tree must still be well formed.
+            pass
+        tree.validate()
+        self.submitted += 1
+        return self.env.process(self._run_global(tree, deadline))
+
+    # -- tree execution --------------------------------------------------------
+
+    def _run_global(self, tree: TaskNode, deadline: float):
+        global_id = next(_global_counter)
+        arrival = self.env.now
+        aborted = False
+        try:
+            yield from self._execute(
+                tree, arrival, deadline, global_id, stage=0,
+                natural_deadline=deadline,
+            )
+        except _Aborted:
+            aborted = True
+        outcome = GlobalTaskOutcome(
+            global_id=global_id,
+            arrival=arrival,
+            deadline=deadline,
+            completed_at=None if aborted else self.env.now,
+            aborted=aborted,
+        )
+        self.metrics.record_global_completion(
+            timing_missed=outcome.missed,
+            aborted=aborted,
+            response_time=outcome.response_time,
+            lateness=outcome.lateness,
+        )
+        return outcome
+
+    def _execute(
+        self,
+        node: TaskNode,
+        window_arrival: float,
+        window_deadline: float,
+        global_id: int,
+        stage: int,
+        natural_deadline: float,
+    ):
+        if isinstance(node, SimpleTask):
+            yield from self._execute_leaf(
+                node, window_deadline, global_id, stage, natural_deadline
+            )
+        elif isinstance(node, SerialTask):
+            yield from self._execute_serial(
+                node, window_arrival, window_deadline, global_id, stage,
+                natural_deadline,
+            )
+        elif isinstance(node, ParallelTask):
+            yield from self._execute_parallel(
+                node, window_deadline, global_id, stage, natural_deadline
+            )
+        else:
+            raise TypeError(f"cannot execute task node of type {type(node).__name__}")
+
+    def _execute_leaf(
+        self,
+        leaf: SimpleTask,
+        deadline: float,
+        global_id: int,
+        stage: int,
+        natural_deadline: float,
+    ):
+        if leaf.node_index is None:
+            raise ValueError(
+                f"leaf {leaf.name!r} has no node assignment; the workload "
+                "factory must route every simple subtask"
+            )
+        timing = TimingRecord(
+            ar=self.env.now,
+            ex=leaf.ex,
+            pex=leaf.pex,
+            dl=deadline,
+        )
+        leaf.timing = timing
+        unit = WorkUnit(
+            env=self.env,
+            name=leaf.name,
+            task_class=TaskClass.GLOBAL,
+            node_index=leaf.node_index,
+            timing=timing,
+            priority_class=self.assigner.psp.priority_class,
+            global_id=global_id,
+            stage=stage,
+            natural_deadline=natural_deadline,
+        )
+        done = self.nodes[leaf.node_index].submit(unit)
+        yield done
+        if timing.aborted:
+            raise _Aborted()
+
+    def _execute_serial(
+        self,
+        node: SerialTask,
+        window_arrival: float,
+        window_deadline: float,
+        global_id: int,
+        stage: int,
+        natural_deadline: float,
+    ):
+        children = node.children
+        for i, child in enumerate(children):
+            assignment = self.assigner.serial_child_deadline(
+                remaining=children[i:],
+                now=self.env.now,
+                window_arrival=window_arrival,
+                window_deadline=window_deadline,
+            )
+            yield from self._execute(
+                child,
+                window_arrival=self.env.now,
+                window_deadline=assignment.deadline,
+                global_id=global_id,
+                stage=stage + i,
+                natural_deadline=natural_deadline,
+            )
+
+    def _execute_parallel(
+        self,
+        node: ParallelTask,
+        window_deadline: float,
+        global_id: int,
+        stage: int,
+        natural_deadline: float,
+    ):
+        children = node.children
+        fork_time = self.env.now
+        branches: List[Process] = []
+        for i, child in enumerate(children):
+            assignment = self.assigner.parallel_child_deadline(
+                children=children,
+                index=i,
+                now=fork_time,
+                window_deadline=window_deadline,
+            )
+            branches.append(
+                self.env.process(
+                    self._branch(child, fork_time, assignment.deadline,
+                                 global_id, stage + i, natural_deadline)
+                )
+            )
+        yield self.env.all_of(branches)
+        if any(branch.value == "aborted" for branch in branches):
+            raise _Aborted()
+
+    def _branch(
+        self,
+        child: TaskNode,
+        window_arrival: float,
+        window_deadline: float,
+        global_id: int,
+        stage: int,
+        natural_deadline: float,
+    ):
+        """Wrapper process for one parallel branch.
+
+        Converts the abort signal into a return value: the join must wait
+        for *all* branches (the group's outcome is decided by the last
+        finisher), so an exception must not tear the join down early.
+        """
+        try:
+            yield from self._execute(
+                child, window_arrival, window_deadline, global_id, stage,
+                natural_deadline,
+            )
+        except _Aborted:
+            return "aborted"
+        return "ok"

@@ -1,0 +1,150 @@
+"""Local real-time scheduling policies (one per node, Sec. 3.2).
+
+Each node services its ready queue *non-preemptively* according to a
+policy.  The paper's baseline policy is earliest-deadline-first (EDF);
+Sec. 4.3 also exercises minimum-laxity-first (MLF), and FCFS is provided as
+a deadline-oblivious control.
+
+Implementation note -- static keys
+----------------------------------
+
+With a non-preemptive single server, every policy here admits an
+*insertion-time* sort key:
+
+* EDF orders by ``dl``;
+* MLF orders by laxity ``dl - now - pex``; since the scheduler compares
+  laxities at a common decision instant ``now``, the order is the order of
+  ``dl - pex``, which is constant per unit;
+* FCFS orders by submission sequence.
+
+So the ready queue is a binary heap and dispatch is O(log n).  Keys are
+tuples ``(priority_class, policy_key, seq)``: the leading priority class
+implements Globals-First (elevated work always wins), and the trailing
+sequence number breaks ties FIFO, keeping runs deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Dict, List, Optional, Tuple
+
+from .work import WorkUnit
+
+
+class SchedulingPolicy:
+    """Strategy object producing heap keys for work units."""
+
+    #: Registry / display name.
+    name: str = "abstract"
+
+    def key(self, unit: WorkUnit) -> float:
+        """Policy-specific component of the sort key (smaller = sooner)."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<Policy {self.name}>"
+
+
+class EarliestDeadlineFirst(SchedulingPolicy):
+    """EDF: dispatch the queued unit with the smallest (virtual) deadline."""
+
+    name = "EDF"
+
+    def key(self, unit: WorkUnit) -> float:
+        return unit.timing.dl
+
+
+class MinimumLaxityFirst(SchedulingPolicy):
+    """MLF: dispatch the unit with the least laxity ``dl - now - pex``.
+
+    Uses the *predicted* execution time: the scheduler cannot know the real
+    one.  See the module docstring for why ``dl - pex`` is a valid static
+    key under non-preemptive service.
+    """
+
+    name = "MLF"
+
+    def key(self, unit: WorkUnit) -> float:
+        return unit.timing.dl - unit.timing.pex
+
+
+class FirstComeFirstServed(SchedulingPolicy):
+    """FCFS: ignore deadlines entirely (control policy)."""
+
+    name = "FCFS"
+
+    def key(self, unit: WorkUnit) -> float:
+        return 0.0  # the sequence-number tiebreak makes this FIFO
+
+
+#: Policies by name, for configuration files and the CLI.
+POLICIES: Dict[str, SchedulingPolicy] = {
+    policy.name: policy
+    for policy in (
+        EarliestDeadlineFirst(),
+        MinimumLaxityFirst(),
+        FirstComeFirstServed(),
+    )
+}
+
+
+def get_policy(name: str) -> SchedulingPolicy:
+    """Look up a policy by (case-insensitive) name."""
+    try:
+        return POLICIES[name.upper()]
+    except KeyError:
+        known = ", ".join(sorted(POLICIES))
+        raise ValueError(f"unknown scheduling policy {name!r}; known: {known}")
+
+
+class ReadyQueue:
+    """Priority-ordered ready queue of work units.
+
+    A thin heap wrapper so :class:`~repro.system.node.Node` stays focused
+    on service mechanics.  Keys are computed at insertion (valid for all
+    shipped policies; see module docstring).
+    """
+
+    __slots__ = ("_policy", "_heap", "_seq")
+
+    def __init__(self, policy: SchedulingPolicy) -> None:
+        self._policy = policy
+        self._heap: List[Tuple[int, float, int, WorkUnit]] = []
+        self._seq = itertools.count()
+
+    def push(self, unit: WorkUnit) -> None:
+        """Enqueue a unit."""
+        entry = (
+            unit.priority_class,
+            self._policy.key(unit),
+            next(self._seq),
+            unit,
+        )
+        heapq.heappush(self._heap, entry)
+
+    def pop(self) -> WorkUnit:
+        """Dequeue the highest-priority unit."""
+        if not self._heap:
+            raise IndexError("pop from empty ready queue")
+        return heapq.heappop(self._heap)[3]
+
+    def peek(self) -> Optional[WorkUnit]:
+        """The unit that would be dispatched next, or ``None``."""
+        return self._heap[0][3] if self._heap else None
+
+    def key_of(self, unit: WorkUnit) -> tuple:
+        """The (class, policy-key) priority of a unit under this queue's
+        policy -- lexicographically smaller dispatches first.  Used by the
+        preemptive node to compare an arrival against the unit in service."""
+        return (unit.priority_class, self._policy.key(unit))
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    @property
+    def policy(self) -> SchedulingPolicy:
+        return self._policy

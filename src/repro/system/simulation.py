@@ -1,0 +1,149 @@
+"""Simulation façade: build a whole system from a config and run it.
+
+This is the main entry point for users::
+
+    from repro import Simulation, baseline_config
+
+    result = Simulation(baseline_config(strategy="EQF")).run()
+    print(result.md_local, result.md_global)
+
+A :class:`Simulation` wires together the environment, the named random
+streams, the nodes with their schedulers, the process manager with the
+chosen SDA strategy, and the workload sources, then runs for
+``config.sim_time`` with the first ``config.warmup_time`` discarded.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..core.strategies import DeadlineAssigner, parse_assigner
+from ..sim.core import Environment
+from ..sim.distributions import exponential_interarrival
+from ..sim.rng import StreamFactory
+from .config import PARALLEL, SERIAL, SERIAL_PARALLEL, SystemConfig
+from .metrics import MetricsCollector, RunResult
+from .node import Node
+from .preemptive import PreemptiveNode
+from .overload import get_overload_policy
+from .process_manager import ProcessManager
+from .schedulers import get_policy
+from .tracing import TraceLog
+from .workload import (
+    GlobalTaskFactory,
+    GlobalTaskSource,
+    LocalTaskSource,
+    ParallelFanFactory,
+    SerialChainFactory,
+    SerialParallelFactory,
+)
+
+
+class Simulation:
+    """One fully wired simulation instance (single run, single seed)."""
+
+    def __init__(self, config: SystemConfig) -> None:
+        self.config = config
+        self.env = Environment()
+        self.streams = StreamFactory(config.seed)
+        self.metrics = MetricsCollector(config.node_count)
+        self.trace_log: Optional[TraceLog] = None
+        if config.trace:
+            self.trace_log = TraceLog()
+            self.metrics.tracer = self.trace_log
+        self.assigner: DeadlineAssigner = parse_assigner(config.strategy)
+
+        policy = get_policy(config.scheduler)
+        overload = get_overload_policy(config.overload_policy)
+        node_class = PreemptiveNode if config.preemptive else Node
+        self.nodes: List[Node] = [
+            node_class(
+                env=self.env,
+                index=i,
+                policy=policy,
+                metrics=self.metrics,
+                overload_policy=overload,
+            )
+            for i in range(config.node_count)
+        ]
+        self.process_manager = ProcessManager(
+            env=self.env,
+            nodes=self.nodes,
+            assigner=self.assigner,
+            metrics=self.metrics,
+        )
+
+        estimator = config.make_estimator()
+        self.local_sources: List[LocalTaskSource] = []
+        for node, rate in zip(self.nodes, config.node_local_rates()):
+            if rate <= 0:
+                continue
+            self.local_sources.append(
+                LocalTaskSource(
+                    env=self.env,
+                    node=node,
+                    interarrival=exponential_interarrival(rate),
+                    execution=config.local_execution_distribution(),
+                    slack=config.local_slack_distribution(),
+                    streams=self.streams,
+                    estimator=estimator,
+                )
+            )
+
+        self.global_source: Optional[GlobalTaskSource] = None
+        global_rate = config.global_arrival_rate
+        if global_rate > 0:
+            factory = self._make_factory(estimator)
+            self.global_source = GlobalTaskSource(
+                env=self.env,
+                process_manager=self.process_manager,
+                interarrival=exponential_interarrival(global_rate),
+                factory=factory,
+                streams=self.streams,
+            )
+
+    def _make_factory(self, estimator) -> GlobalTaskFactory:
+        config = self.config
+        if config.task_structure == SERIAL:
+            return SerialChainFactory(
+                node_count=config.node_count,
+                count=config.subtask_count_distribution(),
+                execution=config.subtask_execution_distribution(),
+                slack=config.global_slack_distribution(),
+                streams=self.streams,
+                estimator=estimator,
+            )
+        if config.task_structure == PARALLEL:
+            return ParallelFanFactory(
+                node_count=config.node_count,
+                fan_out=config.subtask_count,
+                execution=config.subtask_execution_distribution(),
+                slack=config.global_slack_distribution(),
+                streams=self.streams,
+                estimator=estimator,
+            )
+        if config.task_structure == SERIAL_PARALLEL:
+            return SerialParallelFactory(
+                node_count=config.node_count,
+                stages=config.stages,
+                width=config.stage_width,
+                execution=config.subtask_execution_distribution(),
+                slack=config.global_slack_distribution(),
+                streams=self.streams,
+                estimator=estimator,
+            )
+        raise ValueError(f"unknown task structure {config.task_structure!r}")
+
+    def run(self) -> RunResult:
+        """Execute the configured run and return its measurements."""
+        config = self.config
+        if config.warmup_time > 0:
+            self.env.run(until=config.warmup_time)
+            self.metrics.reset(self.env.now)
+        self.env.run(until=config.sim_time)
+        return self.metrics.snapshot(self.env.now)
+
+
+def simulate(config: SystemConfig) -> RunResult:
+    """One-shot convenience: build and run a :class:`Simulation`."""
+    return Simulation(config).run()

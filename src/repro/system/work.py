@@ -1,0 +1,91 @@
+"""Work units: what actually sits in a node's ready queue.
+
+A :class:`WorkUnit` is one unit of service demand at one node -- either a
+local task or a simple subtask of a global task.  It carries the timing
+record the scheduler consults, the priority class (for Globals-First), and
+a completion event the submitter can wait on.
+
+Keeping this as its own small type decouples the node/scheduler machinery
+from the task-tree algebra: nodes never see trees, only work units, exactly
+as in the paper's model where local schedulers "find themselves scheduling
+subtasks, or segments of global tasks, instead of complete tasks".
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+from ..core.strategies.base import PriorityClass
+from ..core.task import TaskClass
+from ..core.timing import TimingRecord
+from ..sim.core import Environment, Event
+
+_unit_counter = itertools.count(1)
+
+
+class WorkUnit:
+    """One schedulable unit of work at one node."""
+
+    __slots__ = (
+        "id",
+        "name",
+        "task_class",
+        "node_index",
+        "timing",
+        "priority_class",
+        "done",
+        "global_id",
+        "stage",
+        "natural_deadline",
+    )
+
+    def __init__(
+        self,
+        env: Environment,
+        name: str,
+        task_class: TaskClass,
+        node_index: int,
+        timing: TimingRecord,
+        priority_class: int = PriorityClass.NORMAL,
+        global_id: Optional[int] = None,
+        stage: Optional[int] = None,
+        natural_deadline: Optional[float] = None,
+    ) -> None:
+        if not timing.has_deadline:
+            raise ValueError(
+                f"work unit {name!r} submitted without a deadline; the SDA "
+                "strategy must assign one before submission"
+            )
+        self.id = next(_unit_counter)
+        self.name = name
+        self.task_class = task_class
+        self.node_index = node_index
+        self.timing = timing
+        self.priority_class = priority_class
+        #: Fires when the node finishes (or aborts) this unit.  The value is
+        #: the unit itself so joiners can inspect the outcome.
+        self.done: Event = env.event()
+        #: Id of the enclosing global task, if any (for tracing).
+        self.global_id = global_id
+        #: Stage index within the enclosing global task (for tracing).
+        self.stage = stage
+        #: The deadline after which this work is genuinely worthless: for a
+        #: local task its own deadline, for a global subtask the *end-to-end*
+        #: deadline of its global task.  Firm overload policies that discard
+        #: useless work consult this, not the virtual deadline -- a subtask
+        #: past its virtual deadline may still finish in time end to end.
+        self.natural_deadline = (
+            natural_deadline if natural_deadline is not None else timing.dl
+        )
+
+    @property
+    def is_global_subtask(self) -> bool:
+        """True for subtasks of global tasks (vs. locally generated work)."""
+        return self.task_class is TaskClass.GLOBAL
+
+    def __repr__(self) -> str:
+        return (
+            f"<WorkUnit {self.name!r} class={self.task_class.value} "
+            f"node={self.node_index} dl={self.timing.dl:.4g}>"
+        )

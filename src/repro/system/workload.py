@@ -1,0 +1,315 @@
+"""Workload generation (Sec. 4.1 / 5.2 simulation models).
+
+Two task populations:
+
+* **Local tasks** arrive at each node as a Poisson process with rate
+  ``lambda_local``; execution times are exponential with mean
+  ``1/mu_local``; slack is uniform on ``[Smin, Smax]``; the deadline is
+  ``ar + ex + slack``.
+* **Global tasks** arrive as a single Poisson stream with rate
+  ``lambda_global``.  Their shape depends on the experiment: a serial chain
+  (Sec. 4), a parallel fan (Sec. 5), or a serial-of-parallel tree (Sec. 6).
+  Subtask execution times are exponential with mean ``1/mu_subtask``;
+  execution nodes are picked uniformly at random (distinct nodes within a
+  parallel fan, per Sec. 5.2).
+
+Deadlines of global tasks:
+
+* serial chain: ``dl = ar + sum_i ex(Ti) + slack`` where the slack
+  distribution is the local one scaled so that ``rel_flex`` holds (see
+  :class:`~repro.system.config.SystemConfig`);
+* parallel fan: ``dl = ar + max_i ex(Ti) + slack`` (paper eq. (2)) with the
+  paper's explicit ``[1.25, 5.0]`` baseline range;
+* serial-parallel tree: ``dl = ar + critical_path_ex + slack`` -- the
+  natural generalization (the critical path is what a perfectly idle
+  system would need).
+
+Note the deadline uses *real* execution times: the definition
+``dl = ar + ex + sl`` fixes slack exactly, independent of prediction error.
+The SDA strategies, in contrast, only ever see ``pex``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.estimators import Estimator, PerfectEstimator
+from ..core.task import (
+    ParallelTask,
+    SerialTask,
+    SimpleTask,
+    TaskClass,
+    TaskNode,
+)
+from ..core.timing import TimingRecord
+from ..sim.core import Environment
+from ..sim.distributions import Distribution
+from ..sim.rng import StreamFactory
+from .node import Node
+from .process_manager import ProcessManager
+from .work import WorkUnit
+
+_local_counter = itertools.count(1)
+
+
+class LocalTaskSource:
+    """Poisson source of local tasks at one node."""
+
+    def __init__(
+        self,
+        env: Environment,
+        node: Node,
+        interarrival: Distribution,
+        execution: Distribution,
+        slack: Distribution,
+        streams: StreamFactory,
+        estimator: Optional[Estimator] = None,
+    ) -> None:
+        self.env = env
+        self.node = node
+        self.interarrival = interarrival
+        self.execution = execution
+        self.slack = slack
+        self.estimator = estimator or PerfectEstimator()
+        tag = f"node-{node.index}"
+        self._arrival_stream = streams.get(f"local-arrival/{tag}")
+        self._execution_stream = streams.get(f"local-execution/{tag}")
+        self._slack_stream = streams.get(f"local-slack/{tag}")
+        self._estimate_stream = streams.get(f"local-estimate/{tag}")
+        self.generated = 0
+        self.process = env.process(self._generate())
+
+    def _generate(self):
+        env = self.env
+        while True:
+            yield env.timeout(self.interarrival.sample(self._arrival_stream))
+            self.generated += 1
+            ex = self.execution.sample(self._execution_stream)
+            slack = self.slack.sample(self._slack_stream)
+            timing = TimingRecord(
+                ar=env.now,
+                ex=ex,
+                pex=self.estimator.predict(ex, self._estimate_stream),
+            )
+            timing.set_deadline_from_slack(slack)
+            unit = WorkUnit(
+                env=env,
+                name=f"local-{next(_local_counter)}",
+                task_class=TaskClass.LOCAL,
+                node_index=self.node.index,
+                timing=timing,
+            )
+            self.node.submit(unit)
+
+
+class GlobalTaskFactory:
+    """Builds one global task instance (tree + end-to-end deadline)."""
+
+    #: Expected number of simple subtasks per task (load arithmetic).
+    mean_subtask_count: float
+
+    def build(self, now: float) -> Tuple[TaskNode, float]:
+        """Return ``(tree, deadline)`` for a task arriving at ``now``."""
+        raise NotImplementedError
+
+
+class SerialChainFactory(GlobalTaskFactory):
+    """Serial global tasks ``T = [T1 T2 ... Tm]`` (Sec. 4.1).
+
+    ``count`` may be deterministic (the baseline's fixed ``m``) or any
+    integer distribution (the Sec. 4.3 "different number of subtasks"
+    variation).  Execution nodes are picked uniformly at random with
+    replacement -- consecutive stages may land on the same node, as in the
+    paper.
+    """
+
+    def __init__(
+        self,
+        node_count: int,
+        count: Distribution,
+        execution: Distribution,
+        slack: Distribution,
+        streams: StreamFactory,
+        estimator: Optional[Estimator] = None,
+    ) -> None:
+        if node_count < 1:
+            raise ValueError(f"need at least one node, got {node_count}")
+        self.node_count = node_count
+        self.count = count
+        self.execution = execution
+        self.slack = slack
+        self.estimator = estimator or PerfectEstimator()
+        self.mean_subtask_count = float(count.mean)
+        self._count_stream = streams.get("global-count")
+        self._execution_stream = streams.get("global-execution")
+        self._slack_stream = streams.get("global-slack")
+        self._route_stream = streams.get("global-route")
+        self._estimate_stream = streams.get("global-estimate")
+
+    def build(self, now: float) -> Tuple[TaskNode, float]:
+        m = int(self.count.sample(self._count_stream))
+        if m < 1:
+            raise ValueError(f"subtask count must be >= 1, got {m}")
+        leaves = [self._make_leaf(i) for i in range(m)]
+        tree: TaskNode = SerialTask(leaves) if m > 1 else leaves[0]
+        total_ex = sum(leaf.ex for leaf in leaves)
+        deadline = now + total_ex + self.slack.sample(self._slack_stream)
+        return tree, deadline
+
+    def _make_leaf(self, index: int) -> SimpleTask:
+        ex = self.execution.sample(self._execution_stream)
+        return SimpleTask(
+            ex=ex,
+            pex=self.estimator.predict(ex, self._estimate_stream),
+            node_index=self._route_stream.randrange(self.node_count),
+            name=f"stage-{index}",
+        )
+
+
+class ParallelFanFactory(GlobalTaskFactory):
+    """Parallel global tasks ``T = [T1 || ... || Tm]`` (Sec. 5.2).
+
+    The ``m`` subtasks run at ``m`` *distinct* nodes (sampled without
+    replacement), so ``m <= k`` is required.  The deadline follows the
+    paper's eq. (2): ``dl = max_i ex(Ti) + slack + ar``.
+    """
+
+    def __init__(
+        self,
+        node_count: int,
+        fan_out: int,
+        execution: Distribution,
+        slack: Distribution,
+        streams: StreamFactory,
+        estimator: Optional[Estimator] = None,
+    ) -> None:
+        if fan_out < 1:
+            raise ValueError(f"fan-out must be >= 1, got {fan_out}")
+        if fan_out > node_count:
+            raise ValueError(
+                f"fan-out {fan_out} exceeds node count {node_count}; the "
+                "paper places parallel subtasks at distinct nodes"
+            )
+        self.node_count = node_count
+        self.fan_out = fan_out
+        self.execution = execution
+        self.slack = slack
+        self.estimator = estimator or PerfectEstimator()
+        self.mean_subtask_count = float(fan_out)
+        self._execution_stream = streams.get("global-execution")
+        self._slack_stream = streams.get("global-slack")
+        self._route_stream = streams.get("global-route")
+        self._estimate_stream = streams.get("global-estimate")
+
+    def build(self, now: float) -> Tuple[TaskNode, float]:
+        nodes = self._route_stream.sample(range(self.node_count), self.fan_out)
+        leaves = []
+        for i, node_index in enumerate(nodes):
+            ex = self.execution.sample(self._execution_stream)
+            leaves.append(
+                SimpleTask(
+                    ex=ex,
+                    pex=self.estimator.predict(ex, self._estimate_stream),
+                    node_index=node_index,
+                    name=f"branch-{i}",
+                )
+            )
+        tree: TaskNode = ParallelTask(leaves) if self.fan_out > 1 else leaves[0]
+        longest = max(leaf.ex for leaf in leaves)
+        deadline = now + longest + self.slack.sample(self._slack_stream)
+        return tree, deadline
+
+
+class SerialParallelFactory(GlobalTaskFactory):
+    """Serial-parallel trees for the Sec. 6 experiment.
+
+    The tree is a serial chain of ``stages`` stages, each a parallel fan of
+    ``width`` subtasks at distinct nodes (width 1 degenerates to a simple
+    stage).  The deadline allows the critical path (the tree's execution
+    envelope) plus slack.
+    """
+
+    def __init__(
+        self,
+        node_count: int,
+        stages: int,
+        width: int,
+        execution: Distribution,
+        slack: Distribution,
+        streams: StreamFactory,
+        estimator: Optional[Estimator] = None,
+    ) -> None:
+        if stages < 1:
+            raise ValueError(f"need at least one stage, got {stages}")
+        if width < 1:
+            raise ValueError(f"stage width must be >= 1, got {width}")
+        if width > node_count:
+            raise ValueError(
+                f"stage width {width} exceeds node count {node_count}"
+            )
+        self.node_count = node_count
+        self.stages = stages
+        self.width = width
+        self.execution = execution
+        self.slack = slack
+        self.estimator = estimator or PerfectEstimator()
+        self.mean_subtask_count = float(stages * width)
+        self._execution_stream = streams.get("global-execution")
+        self._slack_stream = streams.get("global-slack")
+        self._route_stream = streams.get("global-route")
+        self._estimate_stream = streams.get("global-estimate")
+
+    def build(self, now: float) -> Tuple[TaskNode, float]:
+        stage_nodes: List[TaskNode] = []
+        for s in range(self.stages):
+            leaves = []
+            node_indices = self._route_stream.sample(
+                range(self.node_count), self.width
+            )
+            for b, node_index in enumerate(node_indices):
+                ex = self.execution.sample(self._execution_stream)
+                leaves.append(
+                    SimpleTask(
+                        ex=ex,
+                        pex=self.estimator.predict(ex, self._estimate_stream),
+                        node_index=node_index,
+                        name=f"stage-{s}-branch-{b}",
+                    )
+                )
+            stage_nodes.append(
+                ParallelTask(leaves) if self.width > 1 else leaves[0]
+            )
+        tree: TaskNode = (
+            SerialTask(stage_nodes) if self.stages > 1 else stage_nodes[0]
+        )
+        deadline = now + tree.total_ex() + self.slack.sample(self._slack_stream)
+        return tree, deadline
+
+
+class GlobalTaskSource:
+    """Single Poisson stream of global tasks feeding the process manager."""
+
+    def __init__(
+        self,
+        env: Environment,
+        process_manager: ProcessManager,
+        interarrival: Distribution,
+        factory: GlobalTaskFactory,
+        streams: StreamFactory,
+    ) -> None:
+        self.env = env
+        self.process_manager = process_manager
+        self.interarrival = interarrival
+        self.factory = factory
+        self._arrival_stream = streams.get("global-arrival")
+        self.generated = 0
+        self.process = env.process(self._generate())
+
+    def _generate(self):
+        env = self.env
+        while True:
+            yield env.timeout(self.interarrival.sample(self._arrival_stream))
+            self.generated += 1
+            tree, deadline = self.factory.build(env.now)
+            self.process_manager.submit(tree, deadline)

@@ -1,0 +1,34 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.runner import RunScale
+from repro.sim.core import Environment
+from repro.sim.rng import StreamFactory
+from repro.system.config import baseline_config
+
+
+@pytest.fixture
+def env() -> Environment:
+    """A fresh simulation environment."""
+    return Environment()
+
+
+@pytest.fixture
+def streams() -> StreamFactory:
+    """A reproducible stream factory with a fixed seed."""
+    return StreamFactory(seed=12345)
+
+
+@pytest.fixture
+def tiny_scale() -> RunScale:
+    """Very short runs for structural tests of the experiment harness."""
+    return RunScale(sim_time=400.0, warmup_time=50.0, replications=1, label="tiny")
+
+
+@pytest.fixture
+def smoke_config():
+    """A short-run baseline config for integration tests."""
+    return baseline_config(sim_time=2_500.0, warmup_time=250.0)

@@ -1,0 +1,130 @@
+"""Unit tests for the bracket-notation parser (repro.core.notation)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.notation import NotationError, format_tree, parse, tokenize
+from repro.core.task import ParallelTask, SerialTask, SimpleTask
+
+
+class TestTokenize:
+    def test_basic_tokens(self):
+        tokens = tokenize("[1 || x:2.5]")
+        kinds = [k for k, _ in tokens]
+        assert kinds == ["lbracket", "leaf", "par", "leaf", "rbracket"]
+
+    def test_bad_character(self):
+        with pytest.raises(NotationError):
+            tokenize("[1 ? 2]")
+
+    def test_scientific_notation(self):
+        tokens = tokenize("1e-3")
+        assert tokens == [("leaf", "1e-3")]
+
+
+class TestParseLeaves:
+    def test_bare_number(self):
+        leaf = parse("2.5")
+        assert isinstance(leaf, SimpleTask)
+        assert leaf.ex == 2.5
+
+    def test_named_leaf(self):
+        leaf = parse("fetch:1.5")
+        assert leaf.name == "fetch"
+        assert leaf.ex == 1.5
+
+    def test_integer_leaf(self):
+        assert parse("3").ex == 3.0
+
+
+class TestParseComposites:
+    def test_serial_chain(self):
+        tree = parse("[1 2 3]")
+        assert isinstance(tree, SerialTask)
+        assert [leaf.ex for leaf in tree.leaves()] == [1.0, 2.0, 3.0]
+
+    def test_parallel_fan(self):
+        tree = parse("[1 || 2 || 3]")
+        assert isinstance(tree, ParallelTask)
+        assert tree.subtask_count() == 3
+
+    def test_nested_mixed(self):
+        tree = parse("[fetch:1 [db:2 || net:0.5] 1]")
+        assert isinstance(tree, SerialTask)
+        assert len(tree.children) == 3
+        assert isinstance(tree.children[1], ParallelTask)
+        assert tree.total_ex() == 1 + 2 + 1
+
+    def test_singleton_bracket_collapses(self):
+        tree = parse("[2.0]")
+        assert isinstance(tree, SimpleTask)
+
+    def test_deep_nesting(self):
+        tree = parse("[[1 || 2] [3 || [4 5]]]")
+        assert tree.subtask_count() == 5
+        assert tree.total_ex() == 2 + 9  # max(1,2) + max(3, 4+5)
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",
+            "   ",
+            "[1 2",          # unclosed bracket
+            "1 2",           # trailing tokens outside brackets
+            "[1 || 2 3]",    # mixed separators
+            "[1 2 || 3]",    # mixed separators, other order
+            "]",
+            "[]",
+            "[1] extra:1",
+        ],
+    )
+    def test_malformed_rejected(self, text):
+        with pytest.raises(NotationError):
+            parse(text)
+
+
+class TestFormatTree:
+    def test_round_trip_structure(self):
+        text = "[1 [2 || 3] 4]"
+        tree = parse(text)
+        assert format_tree(tree) == text
+
+    def test_leaf_format(self):
+        assert format_tree(parse("2.5")) == "2.5"
+
+
+# -- property: format/parse round trip ---------------------------------------
+
+leaf_ex = st.floats(min_value=0.001, max_value=1000.0, allow_nan=False).map(
+    lambda v: round(v, 3)
+)
+
+
+def trees(max_depth=3):
+    return st.recursive(
+        leaf_ex.map(SimpleTask),
+        lambda children: st.builds(
+            lambda kids, is_par: (ParallelTask if is_par else SerialTask)(kids),
+            st.lists(children, min_size=2, max_size=4),
+            st.booleans(),
+        ),
+        max_leaves=12,
+    )
+
+
+@given(trees())
+def test_format_parse_round_trip_preserves_structure(tree):
+    reparsed = parse(format_tree(tree))
+    assert _shape(reparsed) == _shape(tree)
+
+
+def _shape(node):
+    if node.is_leaf:
+        return ("leaf", round(node.ex, 6))
+    tag = "par" if isinstance(node, ParallelTask) else "ser"
+    return (tag, tuple(_shape(child) for child in node.children))

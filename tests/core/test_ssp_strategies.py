@@ -1,0 +1,256 @@
+"""Unit tests for the SSP strategies (repro.core.strategies.ssp).
+
+Every formula is checked against a hand-computed example, plus the paper's
+qualitative invariants (who grants more slack to early stages).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.strategies.base import SerialContext
+from repro.core.strategies.ssp import (
+    SSP_STRATEGIES,
+    EffectiveDeadline,
+    EqualFlexibility,
+    EqualFlexibilityDamped,
+    EqualSlack,
+    UltimateDeadline,
+    make_eqf_as,
+)
+
+
+def make_context(
+    deadline=20.0, submit=2.0, remaining=(2.0, 3.0, 5.0), arrival=0.0
+):
+    return SerialContext(
+        window_arrival=arrival,
+        window_deadline=deadline,
+        submit_time=submit,
+        remaining_pex=tuple(remaining),
+    )
+
+
+class TestContext:
+    def test_derived_quantities(self):
+        ctx = make_context()
+        assert ctx.current_pex == 2.0
+        assert ctx.remaining_count == 3
+        assert ctx.total_remaining_pex == 10.0
+        # dl - submit - total pex = 20 - 2 - 10
+        assert ctx.remaining_slack == 8.0
+
+    def test_empty_remaining_rejected(self):
+        with pytest.raises(ValueError):
+            make_context(remaining=())
+
+    def test_negative_pex_rejected(self):
+        with pytest.raises(ValueError):
+            make_context(remaining=(1.0, -2.0))
+
+
+class TestUltimateDeadline:
+    def test_inherits_global_deadline(self):
+        assert UltimateDeadline().assign(make_context()) == 20.0
+
+    def test_independent_of_position(self):
+        strategy = UltimateDeadline()
+        first = strategy.assign(make_context(remaining=(2.0, 3.0, 5.0)))
+        last = strategy.assign(make_context(remaining=(5.0,), submit=14.0))
+        assert first == last == 20.0
+
+    def test_needs_no_estimates(self):
+        assert not UltimateDeadline().uses_estimates
+
+
+class TestEffectiveDeadline:
+    def test_formula(self):
+        # dl(Ti) = dl(T) - (pex of later stages) = 20 - (3 + 5) = 12.
+        assert EffectiveDeadline().assign(make_context()) == 12.0
+
+    def test_last_subtask_gets_global_deadline(self):
+        ctx = make_context(remaining=(5.0,), submit=14.0)
+        assert EffectiveDeadline().assign(ctx) == 20.0
+
+    def test_never_later_than_ud(self):
+        ctx = make_context()
+        assert EffectiveDeadline().assign(ctx) <= UltimateDeadline().assign(ctx)
+
+    def test_independent_of_submit_time(self):
+        early = EffectiveDeadline().assign(make_context(submit=1.0))
+        late = EffectiveDeadline().assign(make_context(submit=9.0))
+        assert early == late
+
+
+class TestEqualSlack:
+    def test_formula(self):
+        # slack share = (20 - 2 - 10)/3 = 8/3; dl = 2 + 2 + 8/3.
+        assert EqualSlack().assign(make_context()) == pytest.approx(2 + 2 + 8 / 3)
+
+    def test_last_subtask_gets_global_deadline(self):
+        ctx = make_context(remaining=(5.0,), submit=14.0)
+        assert EqualSlack().assign(ctx) == pytest.approx(20.0)
+
+    def test_negative_slack_shared(self):
+        # The chain is already doomed: dl - submit - pex = 20 - 18 - 10 < 0.
+        ctx = make_context(submit=18.0)
+        deadline = EqualSlack().assign(ctx)
+        assert deadline < 18.0 + 2.0  # earlier than submit + pex
+
+    def test_equal_shares_across_stages(self):
+        """With on-time starts and perfect estimates, every stage receives
+        the same slack share."""
+        total_deadline = 26.0
+        pex = (2.0, 3.0, 5.0)
+        strategy = EqualSlack()
+        now = 0.0
+        shares = []
+        for i in range(3):
+            ctx = SerialContext(
+                window_arrival=0.0,
+                window_deadline=total_deadline,
+                submit_time=now,
+                remaining_pex=pex[i:],
+            )
+            deadline = strategy.assign(ctx)
+            shares.append(deadline - now - pex[i])
+            now = deadline  # next stage starts exactly at this one's deadline
+        assert shares[0] == pytest.approx(shares[1])
+        assert shares[1] == pytest.approx(shares[2])
+
+
+class TestEqualFlexibility:
+    def test_formula(self):
+        # share = (20 - 2 - 10) * 2/10 = 1.6; dl = 2 + 2 + 1.6.
+        assert EqualFlexibility().assign(make_context()) == pytest.approx(5.6)
+
+    def test_last_subtask_gets_global_deadline(self):
+        ctx = make_context(remaining=(5.0,), submit=14.0)
+        assert EqualFlexibility().assign(ctx) == pytest.approx(20.0)
+
+    def test_equal_flexibility_across_stages(self):
+        """Slack shares are proportional to pex: fl is constant."""
+        total_deadline = 26.0
+        pex = (2.0, 3.0, 5.0)
+        strategy = EqualFlexibility()
+        now = 0.0
+        flexibilities = []
+        for i in range(3):
+            ctx = SerialContext(
+                window_arrival=0.0,
+                window_deadline=total_deadline,
+                submit_time=now,
+                remaining_pex=pex[i:],
+            )
+            deadline = strategy.assign(ctx)
+            flexibilities.append((deadline - now - pex[i]) / pex[i])
+            now = deadline
+        assert flexibilities[0] == pytest.approx(flexibilities[1])
+        assert flexibilities[1] == pytest.approx(flexibilities[2])
+
+    def test_zero_total_pex_falls_back_to_equal_split(self):
+        ctx = make_context(remaining=(0.0, 0.0), submit=2.0, deadline=8.0)
+        # remaining slack = 6, split over 2 -> 3 each.
+        assert EqualFlexibility().assign(ctx) == pytest.approx(5.0)
+
+    def test_leftover_slack_inherited_by_later_stages(self):
+        """The paper's 'rich get richer' mechanism: a stage finishing early
+        leaves its unused slack to the rest of the chain."""
+        strategy = EqualFlexibility()
+        pex = (2.0, 2.0)
+        first = strategy.assign(
+            SerialContext(0.0, 20.0, 0.0, tuple(pex))
+        )
+        # Suppose stage 1 finished at time 1 (well before its deadline).
+        second_early = strategy.assign(
+            SerialContext(0.0, 20.0, 1.0, (2.0,))
+        )
+        # Versus finishing exactly at its virtual deadline.
+        second_on_time = strategy.assign(
+            SerialContext(0.0, 20.0, first, (2.0,))
+        )
+        assert second_early == second_on_time == 20.0  # last stage: full dl
+        # The early finisher has more slack left: dl - now - pex.
+        assert (second_early - 1.0) > (second_on_time - first)
+
+
+class TestEqualFlexibilityDamped:
+    """The Sec. 7 future-work extension: EQF with artificial stages."""
+
+    def test_zero_phantom_stages_is_eqf(self):
+        ctx = make_context()
+        assert EqualFlexibilityDamped(0).assign(ctx) == pytest.approx(
+            EqualFlexibility().assign(ctx)
+        )
+
+    def test_formula_with_one_phantom_stage(self):
+        # remaining pex (2,3,5): mean 10/3; denominator 10 + 10/3 = 40/3.
+        # share = 8 * 2 / (40/3) = 1.2; dl = 2 + 2 + 1.2.
+        ctx = make_context()
+        assert EqualFlexibilityDamped(1).assign(ctx) == pytest.approx(5.2)
+
+    def test_earlier_than_eqf_with_positive_slack(self):
+        """Phantom stages siphon slack: deadlines move earlier."""
+        ctx = make_context()
+        eqf = EqualFlexibility().assign(ctx)
+        as1 = EqualFlexibilityDamped(1).assign(ctx)
+        as2 = EqualFlexibilityDamped(2).assign(ctx)
+        assert as2 < as1 < eqf
+
+    def test_final_stage_holds_back_a_reserve(self):
+        """Unlike EQF, the last real subtask does not get the full global
+        deadline -- the held-back share is the reserve."""
+        ctx = make_context(remaining=(5.0,), submit=14.0, deadline=20.0)
+        assigned = EqualFlexibilityDamped(1).assign(ctx)
+        assert assigned < 20.0
+        # Reserve = slack * phantom/(real+phantom) = 1 * 5/10 = 0.5.
+        assert assigned == pytest.approx(19.5)
+
+    def test_zero_total_pex_fallback(self):
+        ctx = make_context(remaining=(0.0, 0.0), submit=2.0, deadline=8.0)
+        # 6 slack over (2 real + 1 phantom) stages -> 2 each.
+        assert EqualFlexibilityDamped(1).assign(ctx) == pytest.approx(4.0)
+
+    def test_negative_stage_count_rejected(self):
+        with pytest.raises(ValueError):
+            EqualFlexibilityDamped(-1)
+
+    def test_name_and_factory(self):
+        assert EqualFlexibilityDamped(1).name == "EQFAS1"
+        assert make_eqf_as(3).artificial_stages == 3
+
+    def test_registered(self):
+        assert "EQFAS1" in SSP_STRATEGIES
+        assert "EQFAS2" in SSP_STRATEGIES
+
+
+class TestRegistryAndOrdering:
+    def test_registry_names(self):
+        assert set(SSP_STRATEGIES) == {
+            "UD", "ED", "EQS", "EQF", "EQFAS1", "EQFAS2",
+        }
+
+    def test_early_stage_deadline_ordering(self):
+        """For a first-of-many subtask: EQS/EQF assign the earliest
+        deadlines, ED intermediate, UD the latest -- the priority ordering
+        that drives the paper's results."""
+        ctx = make_context()
+        ud = UltimateDeadline().assign(ctx)
+        ed = EffectiveDeadline().assign(ctx)
+        eqs = EqualSlack().assign(ctx)
+        eqf = EqualFlexibility().assign(ctx)
+        assert eqf < ed < ud
+        assert eqs < ed < ud
+
+    def test_paper_strategies_agree_on_single_subtask_with_zero_elapsed(self):
+        """A one-subtask global task at its arrival instant: each of the
+        paper's four strategies reduces to the global deadline.  (EQF-AS
+        deliberately does not -- it holds back a reserve.)"""
+        ctx = SerialContext(
+            window_arrival=0.0,
+            window_deadline=10.0,
+            submit_time=0.0,
+            remaining_pex=(4.0,),
+        )
+        for name in ("UD", "ED", "EQS", "EQF"):
+            assert SSP_STRATEGIES[name].assign(ctx) == pytest.approx(10.0)

@@ -1,0 +1,145 @@
+"""Unit tests for timing attributes (repro.core.timing)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.timing import TimingRecord
+
+
+class TestConstruction:
+    def test_pex_defaults_to_ex(self):
+        record = TimingRecord(ar=0.0, ex=2.0)
+        assert record.pex == 2.0
+
+    def test_explicit_pex(self):
+        record = TimingRecord(ar=0.0, ex=2.0, pex=3.0)
+        assert record.pex == 3.0
+
+    def test_negative_ex_rejected(self):
+        with pytest.raises(ValueError):
+            TimingRecord(ar=0.0, ex=-1.0)
+
+    def test_negative_pex_rejected(self):
+        with pytest.raises(ValueError):
+            TimingRecord(ar=0.0, ex=1.0, pex=-0.5)
+
+
+class TestDeadlineIdentity:
+    def test_slack_identity(self):
+        """The paper's identity dl = ar + ex + sl."""
+        record = TimingRecord(ar=10.0, ex=2.0, dl=15.0)
+        assert record.sl == 3.0
+        assert record.dl == record.ar + record.ex + record.sl
+
+    def test_set_deadline_from_slack(self):
+        record = TimingRecord(ar=5.0, ex=1.5)
+        record.set_deadline_from_slack(2.5)
+        assert record.dl == 9.0
+        assert record.sl == 2.5
+
+    def test_negative_slack_rejected_in_setter(self):
+        record = TimingRecord(ar=0.0, ex=1.0)
+        with pytest.raises(ValueError):
+            record.set_deadline_from_slack(-0.1)
+
+    def test_slack_requires_deadline(self):
+        record = TimingRecord(ar=0.0, ex=1.0)
+        with pytest.raises(ValueError):
+            _ = record.sl
+
+    def test_has_deadline(self):
+        record = TimingRecord(ar=0.0, ex=1.0)
+        assert not record.has_deadline
+        record.dl = 4.0
+        assert record.has_deadline
+
+
+class TestFlexibility:
+    def test_flexibility_ratio(self):
+        record = TimingRecord(ar=0.0, ex=2.0, dl=6.0)  # slack 4
+        assert record.fl == 2.0
+
+    def test_zero_execution_flexibility_is_infinite(self):
+        record = TimingRecord(ar=0.0, ex=0.0, dl=1.0)
+        assert math.isinf(record.fl)
+
+
+class TestOutcome:
+    def test_on_time_completion(self):
+        record = TimingRecord(ar=0.0, ex=1.0, dl=5.0)
+        record.completed_at = 4.0
+        assert not record.missed
+        assert record.lateness == -1.0
+        assert record.response_time == 4.0
+
+    def test_tardy_completion(self):
+        record = TimingRecord(ar=0.0, ex=1.0, dl=5.0)
+        record.completed_at = 6.5
+        assert record.missed
+        assert record.lateness == 1.5
+
+    def test_completion_exactly_at_deadline_is_met(self):
+        record = TimingRecord(ar=0.0, ex=1.0, dl=5.0)
+        record.completed_at = 5.0
+        assert not record.missed
+
+    def test_aborted_counts_as_missed(self):
+        record = TimingRecord(ar=0.0, ex=1.0, dl=5.0)
+        record.aborted = True
+        assert record.missed
+
+    def test_missed_before_completion_raises(self):
+        record = TimingRecord(ar=0.0, ex=1.0, dl=5.0)
+        with pytest.raises(ValueError):
+            _ = record.missed
+
+    def test_lateness_before_completion_raises(self):
+        record = TimingRecord(ar=0.0, ex=1.0, dl=5.0)
+        with pytest.raises(ValueError):
+            _ = record.lateness
+
+    def test_response_before_completion_raises(self):
+        record = TimingRecord(ar=0.0, ex=1.0)
+        with pytest.raises(ValueError):
+            _ = record.response_time
+
+    def test_waiting_time(self):
+        record = TimingRecord(ar=2.0, ex=1.0, dl=10.0)
+        record.started_at = 5.0
+        assert record.waiting_time == 3.0
+
+    def test_waiting_before_start_raises(self):
+        record = TimingRecord(ar=2.0, ex=1.0)
+        with pytest.raises(ValueError):
+            _ = record.waiting_time
+
+    def test_finished_flag(self):
+        record = TimingRecord(ar=0.0, ex=1.0)
+        assert not record.finished
+        record.completed_at = 3.0
+        assert record.finished
+
+
+class TestLaxity:
+    def test_laxity_uses_predicted_time(self):
+        record = TimingRecord(ar=0.0, ex=2.0, pex=3.0, dl=10.0)
+        assert record.laxity(now=4.0) == 3.0  # 10 - 4 - 3
+
+    def test_laxity_can_go_negative(self):
+        record = TimingRecord(ar=0.0, ex=1.0, dl=2.0)
+        assert record.laxity(now=5.0) == -4.0
+
+    def test_laxity_requires_deadline(self):
+        record = TimingRecord(ar=0.0, ex=1.0)
+        with pytest.raises(ValueError):
+            record.laxity(now=0.0)
+
+
+def test_repr_with_and_without_deadline():
+    record = TimingRecord(ar=0.0, ex=1.0)
+    assert "dl=?" in repr(record)
+    record.dl = 3.0
+    assert "dl=3" in repr(record)

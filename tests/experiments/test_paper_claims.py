@@ -1,0 +1,231 @@
+"""Integration tests asserting the paper's qualitative claims.
+
+Each test reruns a slice of the evaluation at a reduced scale and checks
+the *robust* orderings the paper reports -- who beats whom -- not absolute
+percentages.  Seeds and run lengths were chosen so these orderings are
+stable; if a refactoring flips one of them, the reproduction is broken.
+
+These are the slowest tests in the suite (a few seconds each).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.system.config import (
+    baseline_config,
+    parallel_baseline_config,
+    serial_parallel_config,
+)
+from repro.system.simulation import simulate
+
+RUN = dict(sim_time=8_000.0, warmup_time=800.0)
+
+
+def md(config):
+    result = simulate(config)
+    return result.md_local, result.md_global
+
+
+class TestSec4SerialClaims:
+    """Sec. 4.2: the SSP baseline experiment."""
+
+    def test_ud_discriminates_against_global_tasks(self):
+        """At load 0.5 under UD, global tasks miss far more often than
+        locals (paper: 40% vs 24%)."""
+        local, global_ = md(baseline_config(strategy="UD", seed=11, **RUN))
+        assert global_ > 1.4 * local
+
+    def test_eqf_beats_ud_for_globals(self):
+        """EQF significantly improves global tasks (Fig. 2b)."""
+        _, ud = md(baseline_config(strategy="UD", seed=12, **RUN))
+        _, eqf = md(baseline_config(strategy="EQF", seed=12, **RUN))
+        assert eqf < ud * 0.9
+
+    def test_local_tasks_barely_affected_by_strategy(self):
+        """Fig. 2a: local miss ratios are close across SSP strategies
+        (within a few points at the baseline's 75% local share)."""
+        locals_ = [
+            md(baseline_config(strategy=s, seed=13, **RUN))[0]
+            for s in ("UD", "ED", "EQS", "EQF")
+        ]
+        assert max(locals_) - min(locals_) < 0.06
+
+    def test_ed_lies_between_ud_and_eqf(self):
+        """Sec. 4.2.1: 'the performance of ED lies between that of UD and
+        EQF' (allowing statistical slop at reduced scale)."""
+        _, ud = md(baseline_config(strategy="UD", seed=14, **RUN))
+        _, ed = md(baseline_config(strategy="ED", seed=14, **RUN))
+        _, eqf = md(baseline_config(strategy="EQF", seed=14, **RUN))
+        assert eqf <= ed + 0.03
+        assert ed <= ud + 0.03
+
+    def test_eqs_close_to_eqf(self):
+        """Sec. 4.2.1: 'EQS's performance is very close to that of EQF'."""
+        _, eqs = md(baseline_config(strategy="EQS", seed=15, **RUN))
+        _, eqf = md(baseline_config(strategy="EQF", seed=15, **RUN))
+        assert abs(eqs - eqf) < 0.05
+
+    def test_light_load_strategies_indistinguishable(self):
+        """Fig. 2b: differences vanish when the load is very light."""
+        _, ud = md(baseline_config(strategy="UD", load=0.1, seed=16, **RUN))
+        _, eqf = md(baseline_config(strategy="EQF", load=0.1, seed=16, **RUN))
+        assert abs(ud - eqf) < 0.04
+
+
+class TestFig3FracLocalClaims:
+    """Fig. 3: discrimination grows with the local-task share under UD."""
+
+    def test_ud_global_worsens_with_more_locals(self):
+        _, few_locals = md(
+            baseline_config(strategy="UD", frac_local=0.1, seed=21, **RUN)
+        )
+        _, many_locals = md(
+            baseline_config(strategy="UD", frac_local=0.9, seed=21, **RUN)
+        )
+        assert many_locals > few_locals + 0.05
+
+    def test_eqf_flat_in_frac_local(self):
+        """'MD_local^EQF and MD_global^EQF hardly change as frac_local
+        varies.'"""
+        _, low = md(baseline_config(strategy="EQF", frac_local=0.1, seed=22, **RUN))
+        _, high = md(baseline_config(strategy="EQF", frac_local=0.9, seed=22, **RUN))
+        assert abs(high - low) < 0.08
+
+    def test_ud_gap_exceeds_eqf_gap_at_high_frac_local(self):
+        config = dict(frac_local=0.9, seed=23, **RUN)
+        ud_local, ud_global = md(baseline_config(strategy="UD", **config))
+        eqf_local, eqf_global = md(baseline_config(strategy="EQF", **config))
+        assert (ud_global - ud_local) > (eqf_global - eqf_local)
+
+
+class TestFig4ParallelClaims:
+    """Fig. 4 / Sec. 5.3: the PSP baseline experiment."""
+
+    def test_ud_globals_miss_much_more_than_locals(self):
+        """'UD causes global tasks to miss their deadlines almost three
+        times as often as locals' -- we require at least 1.5x at our scale
+        and the paper's qualitative point (a large multiple) holds."""
+        local, global_ = md(parallel_baseline_config(strategy="UD", seed=31, **RUN))
+        assert global_ > 1.5 * local
+
+    def test_div1_narrows_the_gap(self):
+        """DIV-1 keeps the two classes' miss rates at similar levels."""
+        ud_local, ud_global = md(
+            parallel_baseline_config(strategy="UD", seed=32, **RUN)
+        )
+        d1_local, d1_global = md(
+            parallel_baseline_config(strategy="DIV-1", seed=32, **RUN)
+        )
+        assert abs(d1_global - d1_local) < abs(ud_global - ud_local)
+        assert d1_global < ud_global
+
+    def test_div1_costs_locals_only_marginally(self):
+        """'this increment is marginal compared with the improvement'."""
+        ud_local, ud_global = md(
+            parallel_baseline_config(strategy="UD", seed=33, **RUN)
+        )
+        d1_local, d1_global = md(
+            parallel_baseline_config(strategy="DIV-1", seed=33, **RUN)
+        )
+        local_cost = d1_local - ud_local
+        global_gain = ud_global - d1_global
+        assert local_cost < global_gain
+
+    def test_div2_close_to_div1(self):
+        """'The difference between their performance is hardly
+        noticeable.'"""
+        _, d1 = md(parallel_baseline_config(strategy="DIV-1", seed=34, **RUN))
+        _, d2 = md(parallel_baseline_config(strategy="DIV-2", seed=34, **RUN))
+        assert abs(d1 - d2) < 0.05
+
+    def test_gf_significantly_beats_div1(self):
+        """Sec. 5.3: 'GF does further reduce MD_global by a significant
+        amount.'"""
+        _, d1 = md(parallel_baseline_config(strategy="DIV-1", seed=35, **RUN))
+        _, gf = md(parallel_baseline_config(strategy="GF", seed=35, **RUN))
+        assert gf < d1 * 0.8
+
+
+class TestSec6CombinedClaims:
+    """Sec. 6: SSP + PSP are complementary and additive."""
+
+    CONFIG = dict(load=0.6, seed=41, **RUN)
+
+    def test_ud_ud_misses_vastly_more_globals(self):
+        local, global_ = md(serial_parallel_config(strategy="UD-UD", **self.CONFIG))
+        assert global_ > 1.3 * local
+
+    def test_each_fix_alone_helps(self):
+        _, udud = md(serial_parallel_config(strategy="UD-UD", **self.CONFIG))
+        _, uddiv = md(serial_parallel_config(strategy="UD-DIV1", **self.CONFIG))
+        _, eqfud = md(serial_parallel_config(strategy="EQF-UD", **self.CONFIG))
+        assert uddiv < udud
+        assert eqfud < udud
+
+    def test_combination_is_best_and_closes_gap(self):
+        """'when applied at the same time, [they] are able to keep
+        MD_global close to MD_local even under a high load'."""
+        _, udud = md(serial_parallel_config(strategy="UD-UD", **self.CONFIG))
+        both_local, both_global = md(
+            serial_parallel_config(strategy="EQF-DIV1", **self.CONFIG)
+        )
+        assert both_global < udud
+        assert abs(both_global - both_local) < 0.1
+
+
+class TestVariationClaims:
+    """Sec. 4.3: 'the results do not change the basic conclusions'."""
+
+    def test_eqf_still_wins_with_noisy_estimates(self):
+        config = dict(pex_error=0.5, seed=51, **RUN)
+        _, ud = md(baseline_config(strategy="UD", **config))
+        _, eqf = md(baseline_config(strategy="EQF", **config))
+        assert eqf < ud
+
+    def test_eqf_still_wins_under_mlf(self):
+        config = dict(scheduler="MLF", seed=52, **RUN)
+        _, ud = md(baseline_config(strategy="UD", **config))
+        _, eqf = md(baseline_config(strategy="EQF", **config))
+        assert eqf < ud
+
+    def test_eqf_still_wins_with_abort(self):
+        """Firm overload management on the *natural* deadline preserves the
+        conclusion."""
+        config = dict(overload_policy="abort-tardy", seed=53, **RUN)
+        _, ud = md(baseline_config(strategy="UD", **config))
+        _, eqf = md(baseline_config(strategy="EQF", **config))
+        assert eqf < ud
+
+    def test_virtual_deadline_abort_punishes_eqf(self):
+        """The GF caveat generalizes: components that blindly discard work
+        past its *virtual* deadline turn EQF's tight subtask deadlines into
+        spurious aborts, erasing (even reversing) its advantage."""
+        config = dict(overload_policy="abort-virtual", seed=53, **RUN)
+        _, ud = md(baseline_config(strategy="UD", **config))
+        _, eqf = md(baseline_config(strategy="EQF", **config))
+        assert eqf > ud
+
+    def test_eqf_still_wins_with_variable_subtask_counts(self):
+        config = dict(subtask_count_range=(2, 6), seed=54, **RUN)
+        _, ud = md(baseline_config(strategy="UD", **config))
+        _, eqf = md(baseline_config(strategy="EQF", **config))
+        assert eqf < ud
+
+    def test_eqf_still_wins_with_heterogeneous_nodes(self):
+        config = dict(local_load_weights=(2, 2, 1, 1, 0.5, 0.5), seed=55, **RUN)
+        _, ud = md(baseline_config(strategy="UD", **config))
+        _, eqf = md(baseline_config(strategy="EQF", **config))
+        assert eqf < ud
+
+    def test_eqf_gain_peaks_at_moderate_slack(self):
+        """V6: at extreme slack settings the strategies converge; the gain
+        is largest in between."""
+        gains = {}
+        for flex in (0.25, 1.0, 8.0):
+            config = dict(rel_flex=flex, seed=56, **RUN)
+            _, ud = md(baseline_config(strategy="UD", **config))
+            _, eqf = md(baseline_config(strategy="EQF", **config))
+            gains[flex] = ud - eqf
+        assert gains[1.0] > gains[0.25] - 0.02
+        assert gains[1.0] > gains[8.0]

@@ -1,0 +1,184 @@
+"""Unit tests for the experiment runner (repro.experiments.runner).
+
+A fake runner replaces the real simulation so these tests are instant and
+deterministic: it returns canned RunResults keyed off the config.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.experiments.runner import (
+    FULL,
+    QUICK,
+    SCALES,
+    SMOKE,
+    RunScale,
+    replicate,
+    sweep,
+)
+from repro.system.config import baseline_config
+from repro.system.metrics import ClassStats, RunResult
+
+
+def fake_result(md_local=0.2, md_global=0.4, completed=100):
+    def stats(miss_ratio):
+        missed = int(round(miss_ratio * completed))
+        return ClassStats(
+            completed=completed, missed=missed, aborted=0,
+            mean_response=1.0, mean_lateness=0.0, mean_waiting=0.5,
+        )
+
+    return RunResult(
+        sim_time=1000.0,
+        warmup=100.0,
+        per_class={"local": stats(md_local), "global": stats(md_global)},
+        per_node=[],
+    )
+
+
+class TestRunScale:
+    def test_presets_registered(self):
+        assert set(SCALES) == {"smoke", "quick", "full"}
+
+    def test_full_matches_paper(self):
+        assert FULL.sim_time == 1_000_000.0
+        assert FULL.replications == 2
+
+    def test_apply_stamps_run_lengths(self):
+        config = SMOKE.apply(baseline_config())
+        assert config.sim_time == SMOKE.sim_time
+        assert config.warmup_time == SMOKE.warmup_time
+
+    def test_bad_replications_rejected(self):
+        with pytest.raises(ValueError):
+            RunScale(sim_time=10.0, warmup_time=1.0, replications=0)
+
+    def test_bad_warmup_rejected(self):
+        with pytest.raises(ValueError):
+            RunScale(sim_time=10.0, warmup_time=10.0, replications=1)
+
+
+class TestReplicate:
+    def test_aggregates_runs(self):
+        seeds = []
+
+        def runner(config):
+            seeds.append(config.seed)
+            return fake_result(md_local=0.2, md_global=0.4)
+
+        estimate = replicate(baseline_config(seed=3), replications=4, runner=runner)
+        assert len(seeds) == 4
+        assert len(set(seeds)) == 4  # distinct seeds per replication
+        assert estimate.md_local.mean == pytest.approx(0.2)
+        assert estimate.md_global.mean == pytest.approx(0.4)
+        assert estimate.md_global.n == 4
+        assert estimate.local_completed == 400
+
+    def test_gap(self):
+        estimate = replicate(
+            baseline_config(), replications=2,
+            runner=lambda c: fake_result(md_local=0.1, md_global=0.35),
+        )
+        assert estimate.gap == pytest.approx(0.25)
+
+    def test_single_replication_infinite_ci(self):
+        estimate = replicate(
+            baseline_config(), replications=1, runner=lambda c: fake_result()
+        )
+        assert math.isinf(estimate.md_local.half_width)
+
+    def test_variance_reflected_in_ci(self):
+        results = iter([fake_result(md_local=0.1), fake_result(md_local=0.3)])
+        estimate = replicate(
+            baseline_config(), replications=2, runner=lambda c: next(results)
+        )
+        assert estimate.md_local.mean == pytest.approx(0.2)
+        assert estimate.md_local.half_width > 0
+
+    def test_parallel_workers_match_serial(self):
+        """workers > 1 must reproduce the serial result exactly (the seeds
+        are fixed up front, so process scheduling cannot leak in)."""
+        config = baseline_config(sim_time=800.0, warmup_time=80.0, seed=5)
+        serial = replicate(config, replications=2, workers=1)
+        parallel = replicate(config, replications=2, workers=2)
+        assert parallel.md_local.mean == serial.md_local.mean
+        assert parallel.md_global.mean == serial.md_global.mean
+        assert parallel.local_completed == serial.local_completed
+
+
+class TestSweep:
+    def test_grid_shape(self):
+        result = sweep(
+            base=baseline_config(),
+            parameter="load",
+            values=[0.1, 0.3],
+            strategies=["UD", "EQF"],
+            scale=RunScale(sim_time=10, warmup_time=0, replications=1),
+            runner=lambda c: fake_result(),
+        )
+        assert len(result.points) == 4
+        assert result.x_values == [0.1, 0.3]
+        assert result.strategies == ["UD", "EQF"]
+
+    def test_config_carries_parameters(self):
+        seen = []
+
+        def runner(config):
+            seen.append((config.load, config.strategy))
+            return fake_result()
+
+        sweep(
+            base=baseline_config(),
+            parameter="load",
+            values=[0.1, 0.3],
+            strategies=["UD"],
+            scale=RunScale(sim_time=10, warmup_time=0, replications=1),
+            runner=runner,
+        )
+        assert set(seen) == {(0.1, "UD"), (0.3, "UD")}
+
+    def test_series_extraction(self):
+        def runner(config):
+            # Make MD_global a function of (load, strategy) to check routing.
+            md = config.load + (0.1 if config.strategy == "UD" else 0.0)
+            return fake_result(md_global=md, md_local=md / 2)
+
+        result = sweep(
+            base=baseline_config(),
+            parameter="load",
+            values=[0.1, 0.3],
+            strategies=["UD", "EQF"],
+            scale=RunScale(sim_time=10, warmup_time=0, replications=1),
+            runner=runner,
+        )
+        assert result.series("UD", "global") == pytest.approx([0.2, 0.4])
+        assert result.series("EQF", "global") == pytest.approx([0.1, 0.3])
+        assert result.series("UD", "local") == pytest.approx([0.1, 0.2])
+
+    def test_point_lookup(self):
+        result = sweep(
+            base=baseline_config(),
+            parameter="load",
+            values=[0.1],
+            strategies=["UD"],
+            scale=RunScale(sim_time=10, warmup_time=0, replications=1),
+            runner=lambda c: fake_result(),
+        )
+        assert result.point(0.1, "UD").strategy == "UD"
+        with pytest.raises(KeyError):
+            result.point(0.9, "UD")
+
+    def test_distinct_seeds_across_grid(self):
+        seeds = []
+        sweep(
+            base=baseline_config(),
+            parameter="load",
+            values=[0.1, 0.2, 0.3],
+            strategies=["UD", "EQF"],
+            scale=RunScale(sim_time=10, warmup_time=0, replications=2),
+            runner=lambda c: (seeds.append(c.seed), fake_result())[1],
+        )
+        assert len(seeds) == len(set(seeds)) == 12

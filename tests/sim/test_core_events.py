@@ -1,0 +1,198 @@
+"""Unit tests for the event lifecycle (repro.sim.core)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.core import AllOf, AnyOf, ConditionValue, Environment, Event, Timeout
+from repro.sim.errors import EventLifecycleError, SimulationError
+
+
+class TestEventLifecycle:
+    def test_new_event_is_pending(self, env):
+        event = env.event()
+        assert not event.triggered
+        assert not event.processed
+
+    def test_value_before_trigger_raises(self, env):
+        event = env.event()
+        with pytest.raises(EventLifecycleError):
+            _ = event.value
+
+    def test_ok_before_trigger_raises(self, env):
+        event = env.event()
+        with pytest.raises(EventLifecycleError):
+            _ = event.ok
+
+    def test_succeed_sets_value(self, env):
+        event = env.event().succeed(42)
+        assert event.triggered
+        assert event.ok
+        assert event.value == 42
+
+    def test_succeed_with_none_value_still_triggered(self, env):
+        event = env.event().succeed()
+        assert event.triggered
+        assert event.value is None
+
+    def test_double_succeed_raises(self, env):
+        event = env.event().succeed(1)
+        with pytest.raises(EventLifecycleError):
+            event.succeed(2)
+
+    def test_fail_then_succeed_raises(self, env):
+        event = env.event().fail(RuntimeError("boom"))
+        event.defuse()
+        with pytest.raises(EventLifecycleError):
+            event.succeed(1)
+
+    def test_fail_requires_exception(self, env):
+        event = env.event()
+        with pytest.raises(TypeError):
+            event.fail("not an exception")  # type: ignore[arg-type]
+
+    def test_fail_stores_exception(self, env):
+        error = ValueError("bad")
+        event = env.event().fail(error)
+        event.defuse()
+        assert not event.ok
+        assert event.value is error
+
+    def test_undefused_failure_crashes_run(self, env):
+        env.event().fail(RuntimeError("unhandled"))
+        with pytest.raises(RuntimeError, match="unhandled"):
+            env.run()
+
+    def test_defused_failure_does_not_crash_run(self, env):
+        event = env.event().fail(RuntimeError("handled"))
+        event.defuse()
+        env.run()  # must not raise
+
+    def test_callbacks_run_on_processing(self, env):
+        event = env.event()
+        seen = []
+        event.callbacks.append(lambda e: seen.append(e.value))
+        event.succeed("payload")
+        env.run()
+        assert seen == ["payload"]
+        assert event.processed
+
+    def test_repr_shows_state(self, env):
+        event = env.event()
+        assert "pending" in repr(event)
+        event.succeed()
+        assert "triggered" in repr(event)
+        env.run()
+        assert "processed" in repr(event)
+
+
+class TestTimeout:
+    def test_timeout_fires_after_delay(self, env):
+        times = []
+        event = env.timeout(5.5)
+        event.callbacks.append(lambda e: times.append(env.now))
+        env.run()
+        assert times == [5.5]
+
+    def test_timeout_carries_value(self, env):
+        event = env.timeout(1.0, value="tick")
+        env.run()
+        assert event.value == "tick"
+
+    def test_negative_delay_rejected(self, env):
+        with pytest.raises(ValueError):
+            env.timeout(-0.1)
+
+    def test_zero_delay_fires_at_current_time(self, env):
+        event = env.timeout(0.0)
+        env.run()
+        assert event.processed
+        assert env.now == 0.0
+
+
+class TestConditions:
+    def test_all_of_waits_for_all(self, env):
+        a, b = env.timeout(1, value="a"), env.timeout(3, value="b")
+        joined = env.all_of([a, b])
+        env.run(until=joined)
+        assert env.now == 3
+
+    def test_any_of_fires_on_first(self, env):
+        a, b = env.timeout(1, value="a"), env.timeout(3, value="b")
+        either = env.any_of([a, b])
+        env.run(until=either)
+        assert env.now == 1
+
+    def test_all_of_value_maps_events(self, env):
+        a, b = env.timeout(1, value="a"), env.timeout(2, value="b")
+        joined = env.all_of([a, b])
+        env.run()
+        value = joined.value
+        assert isinstance(value, ConditionValue)
+        assert value[a] == "a"
+        assert value[b] == "b"
+        assert value.todict() == {a: "a", b: "b"}
+
+    def test_condition_value_len_and_iter(self, env):
+        a, b = env.timeout(1), env.timeout(2)
+        joined = env.all_of([a, b])
+        env.run()
+        assert len(joined.value) == 2
+        assert list(joined.value) == [a, b]
+
+    def test_condition_value_missing_event_raises(self, env):
+        a = env.timeout(1)
+        other = env.timeout(2)
+        joined = env.all_of([a])
+        env.run()
+        with pytest.raises(KeyError):
+            joined.value[other]
+
+    def test_empty_all_of_fires_immediately(self, env):
+        joined = env.all_of([])
+        assert joined.triggered
+        env.run()
+        assert len(joined.value) == 0
+
+    def test_operator_and(self, env):
+        a, b = env.timeout(1), env.timeout(2)
+        both = a & b
+        assert isinstance(both, AllOf)
+        env.run(until=both)
+        assert env.now == 2
+
+    def test_operator_or(self, env):
+        a, b = env.timeout(1), env.timeout(2)
+        either = a | b
+        assert isinstance(either, AnyOf)
+        env.run(until=either)
+        assert env.now == 1
+
+    def test_all_of_with_already_processed_event(self, env):
+        a = env.timeout(1)
+        env.run()
+        b = env.timeout(1)
+        joined = env.all_of([a, b])
+        env.run(until=joined)
+        assert joined.value[a] == a.value
+
+    def test_failed_member_fails_condition(self, env):
+        def failer(env):
+            yield env.timeout(1)
+            raise RuntimeError("branch died")
+
+        proc = env.process(failer(env))
+        other = env.timeout(5)
+        joined = env.all_of([proc, other])
+        joined.defuse()
+        env.run(until=10)
+        assert joined.triggered
+        assert not joined.ok
+        assert isinstance(joined.value, RuntimeError)
+
+    def test_cross_environment_events_rejected(self, env):
+        other_env = Environment()
+        a = env.timeout(1)
+        b = other_env.timeout(1)
+        with pytest.raises(SimulationError):
+            env.all_of([a, b])

@@ -1,0 +1,193 @@
+"""Unit tests for the distribution library (repro.sim.distributions)."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.sim.distributions import (
+    Choice,
+    Deterministic,
+    DiscreteUniform,
+    Erlang,
+    Exponential,
+    LognormalErrorFactor,
+    Uniform,
+    UniformErrorFactor,
+    exponential_interarrival,
+)
+
+
+def sample_mean(dist, n=40_000, seed=0):
+    stream = random.Random(seed)
+    return sum(dist.sample(stream) for _ in range(n)) / n
+
+
+class TestExponential:
+    def test_mean_property(self):
+        assert Exponential(2.5).mean == 2.5
+
+    def test_rate_property(self):
+        assert Exponential(0.5).rate == 2.0
+
+    def test_sample_mean_converges(self):
+        assert sample_mean(Exponential(2.0)) == pytest.approx(2.0, rel=0.05)
+
+    def test_samples_positive(self):
+        stream = random.Random(1)
+        dist = Exponential(1.0)
+        assert all(dist.sample(stream) > 0 for _ in range(1000))
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0])
+    def test_nonpositive_mean_rejected(self, bad):
+        with pytest.raises(ValueError):
+            Exponential(bad)
+
+
+class TestUniform:
+    def test_mean(self):
+        assert Uniform(1.0, 3.0).mean == 2.0
+
+    def test_samples_within_bounds(self):
+        stream = random.Random(2)
+        dist = Uniform(0.25, 2.5)
+        for _ in range(1000):
+            value = dist.sample(stream)
+            assert 0.25 <= value <= 2.5
+
+    def test_degenerate_range_allowed(self):
+        dist = Uniform(1.0, 1.0)
+        assert dist.sample(random.Random(0)) == 1.0
+
+    def test_inverted_range_rejected(self):
+        with pytest.raises(ValueError):
+            Uniform(2.0, 1.0)
+
+    def test_scaled(self):
+        scaled = Uniform(0.25, 2.5).scaled(4.0)
+        assert scaled.low == 1.0
+        assert scaled.high == 10.0
+
+    def test_scaled_by_zero_collapses(self):
+        scaled = Uniform(1.0, 2.0).scaled(0.0)
+        assert scaled.low == scaled.high == 0.0
+
+    def test_negative_scale_rejected(self):
+        with pytest.raises(ValueError):
+            Uniform(0.0, 1.0).scaled(-1.0)
+
+
+class TestDeterministic:
+    def test_always_returns_value(self):
+        dist = Deterministic(7.0)
+        stream = random.Random(0)
+        assert all(dist.sample(stream) == 7.0 for _ in range(10))
+
+    def test_mean(self):
+        assert Deterministic(3.5).mean == 3.5
+
+
+class TestErlang:
+    def test_mean_property(self):
+        assert Erlang(k=4, stage_mean=1.0).mean == 4.0
+
+    def test_sample_mean_converges(self):
+        assert sample_mean(Erlang(k=4, stage_mean=0.5), n=20_000) == pytest.approx(
+            2.0, rel=0.05
+        )
+
+    def test_variance_smaller_than_exponential(self):
+        """An m-stage Erlang is less variable than one exponential of the
+        same mean -- the whole reason global task totals differ from local
+        execution times."""
+        stream = random.Random(3)
+        erlang = Erlang(k=4, stage_mean=1.0)
+        expo = Exponential(4.0)
+        n = 20_000
+        erl = [erlang.sample(stream) for _ in range(n)]
+        exp = [expo.sample(stream) for _ in range(n)]
+        var = lambda xs: sum((x - sum(xs) / n) ** 2 for x in xs) / n
+        assert var(erl) < var(exp)
+
+    @pytest.mark.parametrize("k,mean", [(0, 1.0), (1, 0.0), (-2, 1.0)])
+    def test_bad_parameters_rejected(self, k, mean):
+        with pytest.raises(ValueError):
+            Erlang(k=k, stage_mean=mean)
+
+
+class TestDiscreteUniform:
+    def test_bounds_inclusive(self):
+        stream = random.Random(4)
+        dist = DiscreteUniform(2, 6)
+        values = {dist.sample(stream) for _ in range(2000)}
+        assert values == {2, 3, 4, 5, 6}
+
+    def test_mean(self):
+        assert DiscreteUniform(2, 6).mean == 4.0
+
+    def test_inverted_rejected(self):
+        with pytest.raises(ValueError):
+            DiscreteUniform(5, 2)
+
+
+class TestChoice:
+    def test_only_listed_values(self):
+        stream = random.Random(5)
+        dist = Choice([1, 5, 9])
+        assert {dist.sample(stream) for _ in range(500)} == {1, 5, 9}
+
+    def test_mean(self):
+        assert Choice([1, 5, 9]).mean == 5.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Choice([])
+
+
+class TestErrorFactors:
+    def test_uniform_error_bounds(self):
+        stream = random.Random(6)
+        dist = UniformErrorFactor(0.5)
+        for _ in range(1000):
+            factor = dist.sample(stream)
+            assert 0.5 <= factor <= 1.5
+
+    def test_zero_error_is_exactly_one(self):
+        dist = UniformErrorFactor(0.0)
+        assert dist.sample(random.Random(0)) == 1.0
+
+    def test_uniform_error_mean_is_one(self):
+        assert UniformErrorFactor(0.9).mean == 1.0
+
+    @pytest.mark.parametrize("bad", [-0.1, 1.0, 2.0])
+    def test_bad_error_rejected(self, bad):
+        with pytest.raises(ValueError):
+            UniformErrorFactor(bad)
+
+    def test_lognormal_median_one(self):
+        stream = random.Random(7)
+        dist = LognormalErrorFactor(0.5)
+        values = sorted(dist.sample(stream) for _ in range(20_001))
+        assert values[10_000] == pytest.approx(1.0, abs=0.05)
+
+    def test_lognormal_zero_sigma(self):
+        assert LognormalErrorFactor(0.0).sample(random.Random(0)) == 1.0
+
+    def test_lognormal_mean(self):
+        assert LognormalErrorFactor(0.5).mean == pytest.approx(math.exp(0.125))
+
+    def test_lognormal_negative_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            LognormalErrorFactor(-0.5)
+
+
+class TestInterarrivalHelper:
+    def test_rate_to_mean(self):
+        dist = exponential_interarrival(4.0)
+        assert dist.mean == 0.25
+
+    def test_zero_rate_rejected(self):
+        with pytest.raises(ValueError):
+            exponential_interarrival(0.0)

@@ -1,0 +1,240 @@
+"""Unit tests for generator-based processes (repro.sim.process)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.core import Environment
+from repro.sim.errors import Interrupt, ProcessError
+
+
+class TestProcessBasics:
+    def test_process_runs_to_completion(self, env):
+        trace = []
+
+        def body(env):
+            trace.append(("start", env.now))
+            yield env.timeout(2)
+            trace.append(("middle", env.now))
+            yield env.timeout(3)
+            trace.append(("end", env.now))
+
+        env.process(body(env))
+        env.run()
+        assert trace == [("start", 0), ("middle", 2), ("end", 5)]
+
+    def test_process_return_value_becomes_event_value(self, env):
+        def body(env):
+            yield env.timeout(1)
+            return "result"
+
+        proc = env.process(body(env))
+        env.run()
+        assert proc.value == "result"
+
+    def test_process_is_alive_until_done(self, env):
+        def body(env):
+            yield env.timeout(5)
+
+        proc = env.process(body(env))
+        assert proc.is_alive
+        env.run()
+        assert not proc.is_alive
+
+    def test_non_generator_rejected(self, env):
+        with pytest.raises(ProcessError):
+            env.process(lambda: None)  # type: ignore[arg-type]
+
+    def test_yielding_non_event_raises_in_process(self, env):
+        caught = []
+
+        def body(env):
+            try:
+                yield 42  # type: ignore[misc]
+            except ProcessError as exc:
+                caught.append(exc)
+
+        env.process(body(env))
+        env.run()
+        assert len(caught) == 1
+
+    def test_process_waiting_on_process(self, env):
+        def child(env):
+            yield env.timeout(3)
+            return "child-done"
+
+        def parent(env):
+            result = yield env.process(child(env))
+            return f"saw {result}"
+
+        proc = env.process(parent(env))
+        env.run()
+        assert proc.value == "saw child-done"
+
+    def test_yield_already_processed_event_resumes_immediately(self, env):
+        def body(env):
+            early = env.timeout(0)
+            yield env.timeout(5)
+            value = yield early  # fired long ago
+            assert env.now == 5
+            return value
+
+        proc = env.process(body(env))
+        env.run()
+        assert not proc.is_alive
+
+    def test_uncaught_exception_fails_process_event(self, env):
+        def body(env):
+            yield env.timeout(1)
+            raise KeyError("oops")
+
+        def watcher(env, proc):
+            try:
+                yield proc
+            except KeyError as exc:
+                return f"caught {exc}"
+
+        proc = env.process(body(env))
+        watcher_proc = env.process(watcher(env, proc))
+        env.run()
+        assert "caught" in watcher_proc.value
+
+    def test_unwatched_process_exception_crashes_run(self, env):
+        def body(env):
+            yield env.timeout(1)
+            raise RuntimeError("nobody catches this")
+
+        env.process(body(env))
+        with pytest.raises(RuntimeError):
+            env.run()
+
+    def test_processes_start_in_creation_order(self, env):
+        order = []
+
+        def body(env, tag):
+            order.append(tag)
+            yield env.timeout(0)
+
+        for tag in "abc":
+            env.process(body(env, tag))
+        env.run()
+        assert order[:3] == list("abc")
+
+    def test_active_process_visible_during_execution(self, env):
+        seen = []
+
+        def body(env):
+            seen.append(env.active_process)
+            yield env.timeout(1)
+
+        proc = env.process(body(env))
+        env.run()
+        assert seen == [proc]
+        assert env.active_process is None
+
+
+class TestInterrupts:
+    def test_interrupt_wakes_process_early(self, env):
+        log = []
+
+        def sleeper(env):
+            try:
+                yield env.timeout(100)
+                log.append("slept full")
+            except Interrupt as interrupt:
+                log.append(("interrupted", env.now, interrupt.cause))
+
+        def interrupter(env, victim):
+            yield env.timeout(4)
+            victim.interrupt(cause="reason")
+
+        victim = env.process(sleeper(env))
+        env.process(interrupter(env, victim))
+        env.run()
+        assert log == [("interrupted", 4, "reason")]
+
+    def test_interrupted_process_can_continue(self, env):
+        log = []
+
+        def sleeper(env):
+            try:
+                yield env.timeout(100)
+            except Interrupt:
+                pass
+            yield env.timeout(1)
+            log.append(env.now)
+
+        def interrupter(env, victim):
+            yield env.timeout(10)
+            victim.interrupt()
+
+        victim = env.process(sleeper(env))
+        env.process(interrupter(env, victim))
+        env.run()
+        assert log == [11]
+
+    def test_interrupting_dead_process_raises(self, env):
+        def body(env):
+            yield env.timeout(1)
+
+        proc = env.process(body(env))
+        env.run()
+        with pytest.raises(ProcessError):
+            proc.interrupt()
+
+    def test_self_interrupt_rejected(self, env):
+        failures = []
+
+        def body(env):
+            try:
+                env.active_process.interrupt()
+            except ProcessError as exc:
+                failures.append(exc)
+            yield env.timeout(1)
+
+        env.process(body(env))
+        env.run()
+        assert len(failures) == 1
+
+    def test_unhandled_interrupt_fails_process(self, env):
+        def sleeper(env):
+            yield env.timeout(100)
+
+        def interrupter(env, victim):
+            yield env.timeout(1)
+            victim.interrupt(cause="kill")
+
+        def watcher(env, victim):
+            try:
+                yield victim
+                return "no exception"
+            except Interrupt as interrupt:
+                return ("interrupt escaped", interrupt.cause)
+
+        victim = env.process(sleeper(env))
+        env.process(interrupter(env, victim))
+        watcher_proc = env.process(watcher(env, victim))
+        env.run()
+        assert watcher_proc.value == ("interrupt escaped", "kill")
+
+    def test_original_target_does_not_resume_interrupted_process_again(self, env):
+        resumes = []
+
+        def sleeper(env):
+            try:
+                yield env.timeout(5)
+                resumes.append("timeout fired in process")
+            except Interrupt:
+                resumes.append("interrupt")
+            yield env.timeout(100)
+
+        def interrupter(env, victim):
+            yield env.timeout(1)
+            victim.interrupt()
+
+        victim = env.process(sleeper(env))
+        env.process(interrupter(env, victim))
+        env.run(until=50)
+        # Only the interrupt resumption; the original t=5 timeout must not
+        # wake the process a second time.
+        assert resumes == ["interrupt"]

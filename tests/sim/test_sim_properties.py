@@ -1,0 +1,117 @@
+"""Property-based tests of kernel invariants (hypothesis)."""
+
+from __future__ import annotations
+
+import statistics
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.core import Environment
+from repro.sim.monitor import Tally, TimeWeighted
+
+delays = st.lists(
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=60,
+)
+
+values = st.lists(
+    st.floats(min_value=-1e9, max_value=1e9, allow_nan=False, allow_infinity=False),
+    min_size=2,
+    max_size=80,
+)
+
+
+@given(delays)
+def test_events_always_fire_in_nondecreasing_time_order(ds):
+    env = Environment()
+    fired = []
+    for d in ds:
+        event = env.timeout(d)
+        event.callbacks.append(lambda e: fired.append(env.now))
+    env.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(ds)
+
+
+@given(delays)
+def test_run_until_horizon_never_overshoots(ds):
+    env = Environment()
+    for d in ds:
+        env.timeout(d)
+    horizon = max(ds) / 2 if max(ds) > 0 else 1.0
+    env.run(until=horizon)
+    assert env.now == horizon
+
+
+@given(st.lists(st.text(alphabet="abc", min_size=1, max_size=3), min_size=1, max_size=30))
+def test_simultaneous_events_fire_fifo(tags):
+    env = Environment()
+    fired = []
+    for tag in tags:
+        event = env.timeout(1.0, value=tag)
+        event.callbacks.append(lambda e: fired.append(e.value))
+    env.run()
+    assert fired == tags
+
+
+@given(values)
+def test_tally_matches_statistics_module(xs):
+    tally = Tally()
+    for x in xs:
+        tally.observe(x)
+    assert tally.count == len(xs)
+    assert tally.mean == pytest_approx(statistics.fmean(xs))
+    assert tally.variance == pytest_approx(statistics.variance(xs))
+    assert tally.min == min(xs)
+    assert tally.max == max(xs)
+
+
+@given(values, values)
+def test_tally_merge_equals_pooled(xs, ys):
+    a, b, pooled = Tally(), Tally(), Tally()
+    for x in xs:
+        a.observe(x)
+        pooled.observe(x)
+    for y in ys:
+        b.observe(y)
+        pooled.observe(y)
+    a.merge(b)
+    assert a.count == pooled.count
+    assert a.mean == pytest_approx(pooled.mean)
+    assert a.variance == pytest_approx(pooled.variance, abs_tol=1e-6)
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0.001, max_value=100.0, allow_nan=False),
+            st.floats(min_value=-100.0, max_value=100.0, allow_nan=False),
+        ),
+        min_size=1,
+        max_size=40,
+    )
+)
+@settings(max_examples=60)
+def test_time_weighted_mean_matches_manual_integration(steps):
+    """The streaming time-weighted mean equals the explicit integral."""
+    signal = TimeWeighted(initial=0.0, start_time=0.0)
+    now = 0.0
+    area = 0.0
+    value = 0.0
+    for dt, new_value in steps:
+        area += value * dt
+        now += dt
+        signal.update(new_value, now=now)
+        value = new_value
+    horizon = now + 1.0
+    area += value * 1.0
+    assert signal.mean_at(horizon) == pytest_approx(area / horizon, abs_tol=1e-6)
+
+
+def pytest_approx(expected, rel_tol=1e-9, abs_tol=1e-9):
+    """Local approx helper tolerant of large magnitudes."""
+    import pytest
+
+    return pytest.approx(expected, rel=max(rel_tol, 1e-9), abs=abs_tol)

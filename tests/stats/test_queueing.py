@@ -1,0 +1,152 @@
+"""Unit tests for the closed-form queueing results (repro.stats.queueing)
+and batch means (repro.stats.batch_means)."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.stats.batch_means import batch_means_interval, split_batches
+from repro.stats.queueing import (
+    erlang_mean_and_variance,
+    expected_max_exponential,
+    md1_mean_wait,
+    mg1_mean_wait,
+    mm1_mean_number_in_queue,
+    mm1_mean_response,
+    mm1_mean_wait,
+    utilization,
+)
+
+
+class TestMM1:
+    def test_known_values(self):
+        # lambda=0.5, mu=1: rho=.5, Wq = .5/.5 = 1, W = 2, Lq = .5.
+        assert mm1_mean_wait(0.5, 1.0) == pytest.approx(1.0)
+        assert mm1_mean_response(0.5, 1.0) == pytest.approx(2.0)
+        assert mm1_mean_number_in_queue(0.5, 1.0) == pytest.approx(0.5)
+
+    def test_littles_law_consistency(self):
+        """Lq = lambda * Wq must hold for any stable parameters."""
+        for lam, mu in ((0.1, 1.0), (0.5, 1.0), (0.9, 1.0), (2.0, 3.0)):
+            assert mm1_mean_number_in_queue(lam, mu) == pytest.approx(
+                lam * mm1_mean_wait(lam, mu)
+            )
+
+    def test_response_is_wait_plus_service(self):
+        assert mm1_mean_response(0.7, 1.0) == pytest.approx(
+            mm1_mean_wait(0.7, 1.0) + 1.0
+        )
+
+    def test_unstable_rejected(self):
+        with pytest.raises(ValueError, match="unstable"):
+            mm1_mean_wait(1.0, 1.0)
+
+    def test_bad_rates_rejected(self):
+        with pytest.raises(ValueError):
+            utilization(-1.0, 1.0)
+        with pytest.raises(ValueError):
+            utilization(1.0, 0.0)
+
+
+class TestMG1:
+    def test_exponential_service_reduces_to_mm1(self):
+        """P-K with E[S^2] = 2/mu^2 must equal the M/M/1 formula."""
+        lam, mu = 0.6, 1.0
+        assert mg1_mean_wait(lam, 1.0 / mu, 2.0 / mu**2) == pytest.approx(
+            mm1_mean_wait(lam, mu)
+        )
+
+    def test_deterministic_service_halves_the_wait(self):
+        lam, s = 0.5, 1.0
+        assert md1_mean_wait(lam, s) == pytest.approx(
+            mm1_mean_wait(lam, 1.0 / s) / 2.0
+        )
+
+    def test_invalid_second_moment_rejected(self):
+        with pytest.raises(ValueError):
+            mg1_mean_wait(0.5, 1.0, 0.5)  # E[S^2] < E[S]^2
+
+    def test_unstable_rejected(self):
+        with pytest.raises(ValueError, match="unstable"):
+            mg1_mean_wait(2.0, 1.0, 2.0)
+
+
+class TestExpectedMax:
+    def test_matches_harmonic(self):
+        assert expected_max_exponential(1, 2.0) == pytest.approx(2.0)
+        assert expected_max_exponential(4, 1.0) == pytest.approx(25 / 12)
+
+    def test_monte_carlo_agreement(self):
+        rng = random.Random(0)
+        n, mean, reps = 4, 1.0, 40_000
+        total = 0.0
+        for _ in range(reps):
+            total += max(rng.expovariate(1.0 / mean) for _ in range(n))
+        assert total / reps == pytest.approx(
+            expected_max_exponential(n, mean), rel=0.03
+        )
+
+    def test_bad_inputs(self):
+        with pytest.raises(ValueError):
+            expected_max_exponential(0, 1.0)
+        with pytest.raises(ValueError):
+            expected_max_exponential(2, 0.0)
+
+
+class TestErlang:
+    def test_mean_and_variance(self):
+        mean, var = erlang_mean_and_variance(4, 0.5)
+        assert mean == 2.0
+        assert var == 1.0
+
+    def test_bad_inputs(self):
+        with pytest.raises(ValueError):
+            erlang_mean_and_variance(0, 1.0)
+
+
+class TestSplitBatches:
+    def test_even_split(self):
+        batches = split_batches(list(range(10)), 5)
+        assert batches == [[0, 1], [2, 3], [4, 5], [6, 7], [8, 9]]
+
+    def test_remainder_dropped(self):
+        batches = split_batches(list(range(11)), 5)
+        assert sum(len(b) for b in batches) == 10
+
+    def test_too_few_observations_rejected(self):
+        with pytest.raises(ValueError):
+            split_batches([1.0], 2)
+
+    def test_minimum_batch_count(self):
+        with pytest.raises(ValueError):
+            split_batches(list(range(10)), 1)
+
+
+class TestBatchMeansInterval:
+    def test_iid_data_mean_recovered(self):
+        rng = random.Random(1)
+        data = [rng.gauss(10.0, 2.0) for _ in range(5_000)]
+        estimate = batch_means_interval(data, batch_count=10)
+        assert estimate.contains(10.0)
+        assert estimate.half_width < 0.5
+
+    def test_discard_fraction_removes_transient(self):
+        # A gross transient at the front biases the plain estimate.
+        data = [100.0] * 500 + [10.0] * 4_500
+        plain = batch_means_interval(data, batch_count=10)
+        truncated = batch_means_interval(data, batch_count=10,
+                                         discard_fraction=0.2)
+        assert abs(truncated.mean - 10.0) < abs(plain.mean - 10.0)
+        assert truncated.mean == pytest.approx(10.0)
+
+    def test_bad_discard_fraction(self):
+        with pytest.raises(ValueError):
+            batch_means_interval([1.0] * 100, discard_fraction=1.0)
+
+    def test_constant_series_zero_width(self):
+        estimate = batch_means_interval([3.0] * 100, batch_count=5)
+        assert estimate.mean == 3.0
+        assert estimate.half_width == 0.0

@@ -1,0 +1,98 @@
+"""Unit tests for ASCII rendering (repro.stats.tables)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.stats.tables import format_percent, render_chart, render_table
+
+
+class TestRenderTable:
+    def test_basic_table(self):
+        text = render_table(["name", "value"], [["alpha", 1.5], ["b", 22]])
+        lines = text.splitlines()
+        assert "name" in lines[0] and "value" in lines[0]
+        assert "alpha" in lines[2]
+        assert "22" in lines[3]
+
+    def test_title(self):
+        text = render_table(["a"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_alignment_consistent_width(self):
+        text = render_table(["col"], [["short"], ["much longer cell"]])
+        lines = text.splitlines()
+        assert len(lines[0]) == len(lines[2]) == len(lines[3])
+
+    def test_nan_rendered_as_dash(self):
+        text = render_table(["x"], [[math.nan]])
+        assert "-" in text.splitlines()[-1]
+
+    def test_float_formatting(self):
+        text = render_table(["x"], [[0.123456789]])
+        assert "0.1235" in text
+
+    def test_empty_rows(self):
+        text = render_table(["a", "b"], [])
+        assert "a" in text
+
+
+class TestRenderChart:
+    def test_single_series(self):
+        text = render_chart([0, 1, 2], {"s": [0.0, 0.5, 1.0]})
+        assert "o=s" in text
+        assert text.count("o") >= 3
+
+    def test_multiple_series_get_distinct_markers(self):
+        text = render_chart([0, 1], {"a": [0, 1], "b": [1, 0]})
+        assert "o=a" in text
+        assert "x=b" in text
+
+    def test_title_and_labels(self):
+        text = render_chart([0, 1], {"s": [0, 1]}, title="T", x_label="load",
+                            y_label="miss ratio")
+        assert text.splitlines()[0] == "T"
+        assert "load" in text
+        assert "miss ratio" in text
+
+    def test_nan_points_skipped(self):
+        text = render_chart([0, 1, 2], {"s": [0.0, math.nan, 1.0]})
+        assert text.count("o") >= 2
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            render_chart([0, 1], {"s": [1.0]})
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ValueError):
+            render_chart([0], {})
+
+    def test_all_nan_rejected(self):
+        with pytest.raises(ValueError):
+            render_chart([0, 1], {"s": [math.nan, math.nan]})
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            render_chart([0, 1], {"s": [0, 1]}, width=4, height=2)
+
+    def test_too_many_series_rejected(self):
+        series = {f"s{i}": [0, 1] for i in range(9)}
+        with pytest.raises(ValueError):
+            render_chart([0, 1], series)
+
+    def test_constant_series_plot(self):
+        text = render_chart([0, 1, 2], {"s": [0.5, 0.5, 0.5]})
+        assert "o" in text
+
+
+class TestFormatPercent:
+    def test_basic(self):
+        assert format_percent(0.237) == "23.7%"
+
+    def test_zero(self):
+        assert format_percent(0.0) == "0.0%"
+
+    def test_nan(self):
+        assert format_percent(math.nan) == "-"

@@ -1,0 +1,140 @@
+"""Unit tests for metrics collection (repro.system.metrics)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.task import TaskClass
+from repro.core.timing import TimingRecord
+from repro.system.metrics import ClassStats, MetricsCollector
+from repro.system.work import WorkUnit
+
+
+def finished_unit(env, task_class=TaskClass.LOCAL, ar=0.0, ex=1.0, dl=5.0,
+                  started=1.0, completed=2.0, aborted=False):
+    timing = TimingRecord(ar=ar, ex=ex, dl=dl)
+    timing.started_at = started
+    timing.completed_at = None if aborted else completed
+    timing.aborted = aborted
+    return WorkUnit(env=env, name="u", task_class=task_class,
+                    node_index=0, timing=timing)
+
+
+class TestClassStats:
+    def test_miss_ratio(self):
+        stats = ClassStats(completed=8, missed=2, aborted=2,
+                           mean_response=1.0, mean_lateness=0.0, mean_waiting=0.0)
+        assert stats.miss_ratio == 0.2  # 2 / (8 + 2)
+
+    def test_miss_ratio_empty_is_nan(self):
+        stats = ClassStats(completed=0, missed=0, aborted=0,
+                           mean_response=math.nan, mean_lateness=math.nan,
+                           mean_waiting=math.nan)
+        assert math.isnan(stats.miss_ratio)
+
+
+class TestUnitRecording:
+    def test_met_deadline(self, env):
+        collector = MetricsCollector(node_count=1)
+        collector.record_unit_completion(finished_unit(env, completed=2.0, dl=5.0))
+        stats = collector.snapshot(10.0).local
+        assert stats.completed == 1
+        assert stats.missed == 0
+        assert stats.mean_response == pytest.approx(2.0)
+        assert stats.mean_lateness == pytest.approx(-3.0)
+        assert stats.mean_waiting == pytest.approx(1.0)
+
+    def test_missed_deadline(self, env):
+        collector = MetricsCollector(node_count=1)
+        collector.record_unit_completion(finished_unit(env, completed=9.0, dl=5.0))
+        stats = collector.snapshot(10.0).local
+        assert stats.missed == 1
+
+    def test_aborted_unit(self, env):
+        collector = MetricsCollector(node_count=1)
+        collector.record_unit_completion(finished_unit(env, aborted=True))
+        stats = collector.snapshot(10.0).local
+        assert stats.aborted == 1
+        assert stats.missed == 1
+        assert stats.completed == 0
+
+    def test_global_units_ignored(self, env):
+        collector = MetricsCollector(node_count=1)
+        collector.record_unit_completion(
+            finished_unit(env, task_class=TaskClass.GLOBAL)
+        )
+        snapshot = collector.snapshot(10.0)
+        assert snapshot.local.completed == 0
+        assert snapshot.global_.completed == 0
+
+
+class TestGlobalRecording:
+    def test_met(self):
+        collector = MetricsCollector(node_count=1)
+        collector.record_global_completion(
+            timing_missed=False, aborted=False, response_time=4.0, lateness=-1.0
+        )
+        stats = collector.snapshot(10.0).global_
+        assert stats.completed == 1
+        assert stats.missed == 0
+        assert stats.mean_response == pytest.approx(4.0)
+
+    def test_missed(self):
+        collector = MetricsCollector(node_count=1)
+        collector.record_global_completion(
+            timing_missed=True, aborted=False, response_time=9.0, lateness=2.0
+        )
+        stats = collector.snapshot(10.0).global_
+        assert stats.missed == 1
+        assert stats.miss_ratio == 1.0
+
+    def test_aborted(self):
+        collector = MetricsCollector(node_count=1)
+        collector.record_global_completion(
+            timing_missed=True, aborted=True, response_time=0.0, lateness=0.0
+        )
+        stats = collector.snapshot(10.0).global_
+        assert stats.aborted == 1
+        assert stats.missed == 1
+        assert stats.completed == 0
+
+
+class TestWarmupReset:
+    def test_reset_discards_counts(self, env):
+        collector = MetricsCollector(node_count=2)
+        collector.record_unit_completion(finished_unit(env))
+        collector.node_busy[0].update(1, now=0.0)
+        collector.reset(now=100.0)
+        snapshot = collector.snapshot(200.0)
+        assert snapshot.local.completed == 0
+        assert snapshot.warmup == 100.0
+        # Busy signal keeps its current value but restarts integration.
+        assert snapshot.per_node[0].utilization == pytest.approx(1.0)
+
+    def test_dispatch_counters_reset(self, env):
+        collector = MetricsCollector(node_count=1)
+        collector.count_dispatch(0)
+        collector.reset(now=10.0)
+        assert collector.snapshot(20.0).per_node[0].dispatched == 0
+
+
+class TestRunResult:
+    def test_md_properties(self, env):
+        collector = MetricsCollector(node_count=1)
+        collector.record_unit_completion(finished_unit(env, completed=9.0, dl=5.0))
+        collector.record_global_completion(
+            timing_missed=False, aborted=False, response_time=1.0, lateness=-1.0
+        )
+        result = collector.snapshot(10.0)
+        assert result.md_local == 1.0
+        assert result.md_global == 0.0
+        assert result.sim_time == 10.0
+
+    def test_mean_utilization_averages_nodes(self, env):
+        collector = MetricsCollector(node_count=2)
+        collector.node_busy[0].update(1, now=0.0)   # busy whole window
+        # node 1 stays idle
+        result = collector.snapshot(10.0)
+        assert result.mean_utilization == pytest.approx(0.5)

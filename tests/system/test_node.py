@@ -1,0 +1,166 @@
+"""Unit tests for the processing node (repro.system.node)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.strategies.base import PriorityClass
+from repro.core.task import TaskClass
+from repro.core.timing import TimingRecord
+from repro.sim.core import Environment
+from repro.system.metrics import MetricsCollector
+from repro.system.node import Node
+from repro.system.overload import AbortTardyAtDispatch
+from repro.system.schedulers import EarliestDeadlineFirst
+from repro.system.work import WorkUnit
+
+
+@pytest.fixture
+def metrics():
+    return MetricsCollector(node_count=1)
+
+
+@pytest.fixture
+def node(env, metrics):
+    return Node(env=env, index=0, policy=EarliestDeadlineFirst(), metrics=metrics)
+
+
+def submit(env, node, ex, dl, name="u", task_class=TaskClass.LOCAL, ar=None):
+    timing = TimingRecord(ar=env.now if ar is None else ar, ex=ex, dl=dl)
+    unit = WorkUnit(env=env, name=name, task_class=task_class,
+                    node_index=0, timing=timing)
+    node.submit(unit)
+    return unit
+
+
+class TestService:
+    def test_single_unit_served_for_ex(self, env, node):
+        unit = submit(env, node, ex=2.5, dl=10.0)
+        env.run()
+        assert unit.timing.started_at == 0.0
+        assert unit.timing.completed_at == 2.5
+        assert unit.done.processed
+
+    def test_edf_order(self, env, node):
+        late = submit(env, node, ex=1.0, dl=20.0, name="late")
+        early = submit(env, node, ex=1.0, dl=5.0, name="early")
+        env.run()
+        # Both queued at t=0 while server idle wakes; earliest deadline first.
+        assert early.timing.completed_at < late.timing.completed_at
+
+    def test_non_preemptive(self, env, node):
+        """A newly arrived urgent unit must wait for the unit in service."""
+        running = submit(env, node, ex=10.0, dl=100.0, name="running")
+
+        def late_arrival(env, node):
+            yield env.timeout(1.0)
+            submit(env, node, ex=1.0, dl=2.0, name="urgent")
+
+        env.process(late_arrival(env, node))
+        env.run()
+        assert running.timing.completed_at == 10.0
+
+    def test_sequential_service(self, env, node):
+        a = submit(env, node, ex=2.0, dl=4.0, name="a")
+        b = submit(env, node, ex=3.0, dl=9.0, name="b")
+        env.run()
+        assert a.timing.completed_at == 2.0
+        assert b.timing.started_at == 2.0
+        assert b.timing.completed_at == 5.0
+
+    def test_server_idles_between_arrivals(self, env, node):
+        def arrivals(env, node):
+            submit(env, node, ex=1.0, dl=5.0)
+            yield env.timeout(10.0)
+            late = submit(env, node, ex=1.0, dl=20.0)
+            return late
+
+        proc = env.process(arrivals(env, node))
+        env.run()
+        late = proc.value
+        assert late.timing.started_at == 10.0
+
+    def test_wrong_node_rejected(self, env, node):
+        timing = TimingRecord(ar=0.0, ex=1.0, dl=5.0)
+        unit = WorkUnit(env=env, name="u", task_class=TaskClass.LOCAL,
+                        node_index=3, timing=timing)
+        with pytest.raises(ValueError, match="routed to node"):
+            node.submit(unit)
+
+    def test_busy_and_queue_length(self, env, node):
+        submit(env, node, ex=5.0, dl=100.0)
+        submit(env, node, ex=5.0, dl=100.0)
+
+        def probe(env, node, out):
+            yield env.timeout(1.0)
+            out.append((node.busy, node.queue_length))
+
+        observed = []
+        env.process(probe(env, node, observed))
+        env.run()
+        assert observed == [(True, 1)]
+        assert not node.busy
+        assert node.queue_length == 0
+
+
+class TestMetricsIntegration:
+    def test_local_completion_recorded(self, env, node, metrics):
+        submit(env, node, ex=1.0, dl=0.5)   # will miss
+        submit(env, node, ex=1.0, dl=50.0)  # will meet
+        env.run()
+        stats = metrics.snapshot(env.now).local
+        assert stats.completed == 2
+        assert stats.missed == 1
+
+    def test_global_subtask_not_recorded_as_local(self, env, node, metrics):
+        submit(env, node, ex=1.0, dl=5.0, task_class=TaskClass.GLOBAL)
+        env.run()
+        snapshot = metrics.snapshot(env.now)
+        assert snapshot.local.completed == 0
+        assert snapshot.global_.completed == 0  # end-to-end is the PM's job
+
+    def test_utilization_signal(self, env, node, metrics):
+        submit(env, node, ex=4.0, dl=100.0)
+        env.run(until=10.0)
+        assert metrics.snapshot(10.0).per_node[0].utilization == pytest.approx(0.4)
+
+    def test_dispatch_count(self, env, node, metrics):
+        for _ in range(3):
+            submit(env, node, ex=0.5, dl=100.0)
+        env.run()
+        assert metrics.snapshot(env.now).per_node[0].dispatched == 3
+
+
+class TestAbortAtDispatch:
+    @pytest.fixture
+    def abort_node(self, env, metrics):
+        return Node(env=env, index=0, policy=EarliestDeadlineFirst(),
+                    metrics=metrics, overload_policy=AbortTardyAtDispatch())
+
+    def test_expired_unit_dropped_without_service(self, env, abort_node, metrics):
+        # The blocker has the earliest deadline, so EDF serves it first and
+        # the doomed unit's deadline expires while it waits.
+        blocker = submit(env, abort_node, ex=10.0, dl=2.0, name="blocker")
+        doomed = submit(env, abort_node, ex=1.0, dl=5.0, name="doomed")
+        env.run()
+        assert doomed.timing.aborted
+        assert doomed.timing.started_at is None
+        assert doomed.done.processed
+        stats = metrics.snapshot(env.now).local
+        assert stats.aborted == 1
+        assert stats.missed == 2  # the blocker itself finished tardy too
+        assert stats.completed == 1  # only the blocker ran
+
+    def test_unit_within_deadline_not_dropped(self, env, abort_node):
+        unit = submit(env, abort_node, ex=1.0, dl=50.0)
+        env.run()
+        assert not unit.timing.aborted
+        assert unit.timing.completed_at == 1.0
+
+    def test_abort_frees_capacity_for_queue(self, env, abort_node):
+        """Dropping an expired unit lets the next one start immediately."""
+        submit(env, abort_node, ex=10.0, dl=1.0, name="blocker")  # served first
+        submit(env, abort_node, ex=5.0, dl=5.0, name="doomed")
+        survivor = submit(env, abort_node, ex=1.0, dl=50.0, name="survivor")
+        env.run()
+        assert survivor.timing.started_at == 10.0  # right after blocker

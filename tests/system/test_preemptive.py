@@ -1,0 +1,161 @@
+"""Unit tests for the preemptive-resume node (repro.system.preemptive)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.strategies.base import PriorityClass
+from repro.core.task import TaskClass
+from repro.core.timing import TimingRecord
+from repro.system.config import baseline_config
+from repro.system.metrics import MetricsCollector
+from repro.system.preemptive import PreemptiveNode
+from repro.system.schedulers import EarliestDeadlineFirst
+from repro.system.simulation import simulate
+from repro.system.work import WorkUnit
+
+
+@pytest.fixture
+def metrics():
+    return MetricsCollector(node_count=1)
+
+
+@pytest.fixture
+def node(env, metrics):
+    return PreemptiveNode(
+        env=env, index=0, policy=EarliestDeadlineFirst(), metrics=metrics
+    )
+
+
+def submit(env, node, ex, dl, name="u", priority=PriorityClass.NORMAL):
+    timing = TimingRecord(ar=env.now, ex=ex, dl=dl)
+    unit = WorkUnit(env=env, name=name, task_class=TaskClass.LOCAL,
+                    node_index=0, timing=timing, priority_class=priority)
+    node.submit(unit)
+    return unit
+
+
+class TestPreemption:
+    def test_urgent_arrival_preempts(self, env, node):
+        long_unit = submit(env, node, ex=10.0, dl=100.0, name="long")
+
+        def late_arrival(env, node, out):
+            yield env.timeout(2.0)
+            out.append(submit(env, node, ex=1.0, dl=4.0, name="urgent"))
+
+        arrivals = []
+        env.process(late_arrival(env, node, arrivals))
+        env.run()
+        urgent = arrivals[0]
+        # The urgent unit ran immediately: [2, 3].
+        assert urgent.timing.completed_at == 3.0
+        assert not urgent.timing.missed
+        # The long unit resumed and finished with its full 10 units served:
+        # [0, 2] + [3, 11].
+        assert long_unit.timing.completed_at == 11.0
+        assert node.preemptions == 1
+
+    def test_equal_priority_does_not_preempt(self, env, node):
+        running = submit(env, node, ex=5.0, dl=50.0, name="running")
+
+        def late_arrival(env, node):
+            yield env.timeout(1.0)
+            submit(env, node, ex=1.0, dl=50.0, name="tie")
+
+        env.process(late_arrival(env, node))
+        env.run()
+        assert running.timing.completed_at == 5.0
+        assert node.preemptions == 0
+
+    def test_lower_priority_does_not_preempt(self, env, node):
+        running = submit(env, node, ex=5.0, dl=10.0, name="running")
+
+        def late_arrival(env, node):
+            yield env.timeout(1.0)
+            submit(env, node, ex=1.0, dl=99.0, name="later-dl")
+
+        env.process(late_arrival(env, node))
+        env.run()
+        assert running.timing.completed_at == 5.0
+        assert node.preemptions == 0
+
+    def test_nested_preemption(self, env, node):
+        """A preempting unit can itself be preempted."""
+        first = submit(env, node, ex=10.0, dl=100.0, name="first")
+
+        def arrivals(env, node, out):
+            yield env.timeout(2.0)
+            out.append(submit(env, node, ex=4.0, dl=20.0, name="second"))
+            yield env.timeout(1.0)
+            out.append(submit(env, node, ex=1.0, dl=5.0, name="third"))
+
+        created = []
+        env.process(arrivals(env, node, created))
+        env.run()
+        second, third = created
+        assert third.timing.completed_at == 4.0      # [3, 4]: 1 unit
+        assert second.timing.completed_at == 7.0     # [2, 3] + [4, 7]: 4 units
+        assert first.timing.completed_at == 15.0     # [0, 2] + [7, 15]: 10 units
+        assert node.preemptions == 2
+
+    def test_started_at_is_first_service(self, env, node):
+        long_unit = submit(env, node, ex=10.0, dl=100.0, name="long")
+
+        def late_arrival(env, node):
+            yield env.timeout(2.0)
+            submit(env, node, ex=1.0, dl=4.0, name="urgent")
+
+        env.process(late_arrival(env, node))
+        env.run()
+        assert long_unit.timing.started_at == 0.0
+
+    def test_elevated_class_preempts_normal(self, env, node):
+        """Globals-First semantics carry over: an elevated unit preempts a
+        normal one regardless of deadlines."""
+        running = submit(env, node, ex=5.0, dl=6.0, name="local")
+
+        def late_arrival(env, node, out):
+            yield env.timeout(1.0)
+            out.append(submit(env, node, ex=1.0, dl=99.0, name="global",
+                              priority=PriorityClass.ELEVATED))
+
+        created = []
+        env.process(late_arrival(env, node, created))
+        env.run()
+        assert created[0].timing.completed_at == 2.0
+        assert running.timing.completed_at == 6.0
+
+    def test_utilization_accounting_across_preemption(self, env, node, metrics):
+        submit(env, node, ex=4.0, dl=100.0, name="long")
+
+        def late_arrival(env, node):
+            yield env.timeout(1.0)
+            submit(env, node, ex=2.0, dl=5.0, name="urgent")
+
+        env.process(late_arrival(env, node))
+        env.run(until=10.0)
+        # Total service = 6 units over [0, 10]: no double counting.
+        assert metrics.snapshot(10.0).per_node[0].utilization == pytest.approx(0.6)
+
+
+class TestIntegration:
+    def test_preemptive_baseline_runs(self):
+        result = simulate(
+            baseline_config(preemptive=True, sim_time=2_000.0, warmup_time=200.0)
+        )
+        assert 0.0 <= result.md_local <= 1.0
+        assert result.global_.completed > 50
+
+    def test_preemption_helps_short_local_tasks(self):
+        """Short local tasks no longer wait behind long subtasks."""
+        config = dict(sim_time=4_000.0, warmup_time=400.0, seed=9)
+        blocking = simulate(baseline_config(preemptive=False, **config))
+        preemptive = simulate(baseline_config(preemptive=True, **config))
+        assert preemptive.md_local < blocking.md_local
+
+    def test_same_seed_deterministic(self):
+        config = baseline_config(preemptive=True, sim_time=1_500.0,
+                                 warmup_time=150.0, seed=4)
+        a, b = simulate(config), simulate(config)
+        assert a.md_local == b.md_local
+        assert a.md_global == b.md_global

@@ -1,0 +1,126 @@
+"""Integration tests for the simulation façade (repro.system.simulation)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.system.config import baseline_config, parallel_baseline_config
+from repro.system.simulation import Simulation, simulate
+
+
+SHORT = dict(sim_time=2_000.0, warmup_time=200.0)
+
+
+class TestWiring:
+    def test_builds_configured_node_count(self):
+        sim = Simulation(baseline_config(node_count=3, subtask_count=3, **SHORT))
+        assert len(sim.nodes) == 3
+
+    def test_local_sources_per_node(self):
+        sim = Simulation(baseline_config(**SHORT))
+        assert len(sim.local_sources) == 6
+
+    def test_no_global_source_when_frac_local_one(self):
+        sim = Simulation(baseline_config(frac_local=1.0, **SHORT))
+        assert sim.global_source is None
+
+    def test_no_local_sources_when_frac_local_zero(self):
+        sim = Simulation(baseline_config(frac_local=0.0, **SHORT))
+        assert sim.local_sources == []
+        assert sim.global_source is not None
+
+    def test_strategy_parsed(self):
+        sim = Simulation(baseline_config(strategy="EQF-DIV1", **SHORT))
+        assert sim.assigner.name == "EQF-DIV1"
+
+    def test_zero_load_runs_empty(self):
+        result = simulate(baseline_config(load=0.0, **SHORT))
+        assert math.isnan(result.md_local)
+        assert math.isnan(result.md_global)
+
+
+class TestRunBehaviour:
+    def test_miss_ratios_are_probabilities(self):
+        result = simulate(baseline_config(**SHORT))
+        assert 0.0 <= result.md_local <= 1.0
+        assert 0.0 <= result.md_global <= 1.0
+
+    def test_tasks_flow(self):
+        result = simulate(baseline_config(**SHORT))
+        assert result.local.completed > 500
+        assert result.global_.completed > 50
+
+    def test_utilization_tracks_load(self):
+        result = simulate(baseline_config(load=0.4, sim_time=8_000.0,
+                                          warmup_time=500.0))
+        assert result.mean_utilization == pytest.approx(0.4, abs=0.05)
+
+    def test_same_seed_reproduces_exactly(self):
+        config = baseline_config(seed=77, **SHORT)
+        a, b = simulate(config), simulate(config)
+        assert a.md_local == b.md_local
+        assert a.md_global == b.md_global
+        assert a.local.completed == b.local.completed
+
+    def test_different_seeds_differ(self):
+        a = simulate(baseline_config(seed=1, **SHORT))
+        b = simulate(baseline_config(seed=2, **SHORT))
+        assert (a.md_local, a.local.completed) != (b.md_local, b.local.completed)
+
+    def test_warmup_excluded_from_counts(self):
+        whole = simulate(baseline_config(sim_time=2_000.0, warmup_time=0.0))
+        trimmed = simulate(baseline_config(sim_time=2_000.0, warmup_time=1_000.0))
+        assert trimmed.local.completed < whole.local.completed
+        assert trimmed.warmup == 1_000.0
+
+    def test_sim_time_respected(self):
+        result = simulate(baseline_config(**SHORT))
+        assert result.sim_time == 2_000.0
+
+
+class TestStructures:
+    def test_parallel_structure_runs(self):
+        result = simulate(parallel_baseline_config(**SHORT))
+        assert result.global_.completed > 50
+
+    def test_serial_parallel_structure_runs(self):
+        from repro.system.config import serial_parallel_config
+
+        result = simulate(serial_parallel_config(**SHORT))
+        assert result.global_.completed > 50
+
+    def test_mlf_scheduler_runs(self):
+        result = simulate(baseline_config(scheduler="MLF", **SHORT))
+        assert result.local.completed > 0
+
+    def test_fcfs_scheduler_runs(self):
+        result = simulate(baseline_config(scheduler="FCFS", **SHORT))
+        assert result.local.completed > 0
+
+    def test_abort_policy_runs(self):
+        result = simulate(baseline_config(overload_policy="abort-tardy",
+                                          load=0.8, **SHORT))
+        assert result.local.aborted > 0
+
+    def test_noisy_estimates_run(self):
+        result = simulate(baseline_config(pex_error=0.5, strategy="EQF", **SHORT))
+        assert result.global_.completed > 0
+
+    def test_gf_strategy_runs(self):
+        result = simulate(parallel_baseline_config(strategy="GF", **SHORT))
+        assert result.global_.completed > 0
+
+
+class TestStatisticalSanity:
+    def test_higher_load_more_misses(self):
+        light = simulate(baseline_config(load=0.1, seed=5, **SHORT))
+        heavy = simulate(baseline_config(load=0.7, seed=5, **SHORT))
+        assert heavy.md_local > light.md_local
+        assert heavy.md_global > light.md_global
+
+    def test_generous_slack_reduces_misses(self):
+        tight = simulate(baseline_config(rel_flex=0.25, seed=6, **SHORT))
+        loose = simulate(baseline_config(rel_flex=8.0, seed=6, **SHORT))
+        assert loose.md_global < tight.md_global

@@ -1,0 +1,111 @@
+"""Validation of the simulator against closed-form queueing theory.
+
+These tests drive the *real* system (nodes, sources, metrics) into corners
+where exact results are known and check agreement.  They are the strongest
+correctness evidence for the discrete-event substrate: a bias in the event
+loop, the RNG plumbing, or the metrics would show up here as a systematic
+deviation from theory.
+
+Statistical tests use generous-but-meaningful tolerances (3-7%) at run
+lengths that keep the suite fast; the seeds are fixed, so failures are
+deterministic signals, not flakes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.stats.queueing import (
+    mm1_mean_response,
+    mm1_mean_wait,
+)
+from repro.system.config import baseline_config
+from repro.system.simulation import Simulation, simulate
+
+
+def local_only_config(**overrides):
+    """A pure local-task workload: each node is an independent M/M/1."""
+    base = dict(
+        frac_local=1.0,          # no global tasks at all
+        node_count=3,
+        sim_time=60_000.0,
+        warmup_time=6_000.0,
+        scheduler="FCFS",        # the textbook service order
+        seed=101,
+    )
+    base.update(overrides)
+    return baseline_config(**base)
+
+
+class TestMM1Agreement:
+    @pytest.mark.parametrize("load", [0.3, 0.5, 0.7])
+    def test_mean_waiting_time_matches_mm1(self, load):
+        """Per-node lambda = load (mu = 1): measured Wq vs rho/(mu-lambda)."""
+        result = simulate(local_only_config(load=load))
+        expected = mm1_mean_wait(load, 1.0)
+        assert result.local.mean_waiting == pytest.approx(expected, rel=0.07)
+
+    def test_mean_response_matches_mm1(self):
+        result = simulate(local_only_config(load=0.5))
+        expected = mm1_mean_response(0.5, 1.0)
+        assert result.local.mean_response == pytest.approx(expected, rel=0.05)
+
+    def test_utilization_matches_rho(self):
+        result = simulate(local_only_config(load=0.6))
+        assert result.mean_utilization == pytest.approx(0.6, abs=0.02)
+
+    def test_mlf_obeys_the_conservation_law(self):
+        """Kleinrock's conservation law: a non-preemptive, work-conserving
+        discipline that does not use service-time information preserves the
+        overall mean wait.  MLF's dispatch key is ``dl - pex = ar + slack``,
+        which is *independent* of the service time, so MLF must agree with
+        FCFS and with the M/M/1 formula."""
+        fcfs = simulate(local_only_config(load=0.6, scheduler="FCFS"))
+        mlf = simulate(local_only_config(load=0.6, scheduler="MLF"))
+        assert mlf.local.mean_waiting == pytest.approx(
+            fcfs.local.mean_waiting, rel=0.02
+        )
+        expected = mm1_mean_wait(0.6, 1.0)
+        assert mlf.local.mean_waiting == pytest.approx(expected, rel=0.08)
+
+    def test_edf_beats_the_conservation_mean(self):
+        """EDF's key ``dl = ar + ex + slack`` *does* leak service-time
+        information: short tasks get earlier deadlines, so EDF behaves
+        partly like shortest-job-first and its mean wait falls below
+        FCFS's.  This subtle deviation is physically correct -- the
+        conservation law only covers size-blind disciplines -- and it is a
+        sensitive regression test of the deadline plumbing."""
+        fcfs = simulate(local_only_config(load=0.6, scheduler="FCFS"))
+        edf = simulate(local_only_config(load=0.6, scheduler="EDF"))
+        assert edf.local.mean_waiting < fcfs.local.mean_waiting * 0.95
+
+
+class TestPoissonStreams:
+    def test_arrival_counts_match_rate(self):
+        sim = Simulation(local_only_config(load=0.5, sim_time=40_000.0,
+                                           warmup_time=0.0))
+        sim.run()
+        for source in sim.local_sources:
+            # Each node's stream has rate 0.5: expect ~20k +- a few %.
+            assert source.generated == pytest.approx(20_000, rel=0.05)
+
+    def test_global_stream_rate(self):
+        config = baseline_config(
+            frac_local=0.0, sim_time=40_000.0, warmup_time=0.0, seed=7
+        )
+        sim = Simulation(config)
+        sim.run()
+        expected = config.global_arrival_rate * 40_000.0
+        assert sim.global_source.generated == pytest.approx(expected, rel=0.05)
+
+
+class TestServiceTimes:
+    def test_local_service_mean(self):
+        """Mean realized service time equals 1/mu_local."""
+        sim = Simulation(local_only_config(load=0.4))
+        result = sim.run()
+        # response - waiting = service, in expectation.
+        measured_service = (
+            result.local.mean_response - result.local.mean_waiting
+        )
+        assert measured_service == pytest.approx(1.0, rel=0.05)

@@ -1,0 +1,110 @@
+"""Unit tests for WorkUnit and the overload policies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.task import TaskClass
+from repro.core.timing import TimingRecord
+from repro.system.overload import (
+    OVERLOAD_POLICIES,
+    AbortTardyAtDispatch,
+    AbortVirtualAtDispatch,
+    NoAbort,
+    get_overload_policy,
+)
+from repro.system.work import WorkUnit
+
+
+def make_unit(env, dl=10.0, task_class=TaskClass.LOCAL, natural_deadline=None):
+    timing = TimingRecord(ar=0.0, ex=1.0, dl=dl)
+    return WorkUnit(
+        env=env, name="u", task_class=task_class, node_index=0, timing=timing,
+        natural_deadline=natural_deadline,
+    )
+
+
+class TestWorkUnit:
+    def test_requires_deadline(self, env):
+        timing = TimingRecord(ar=0.0, ex=1.0)  # no deadline assigned
+        with pytest.raises(ValueError, match="without a deadline"):
+            WorkUnit(env=env, name="u", task_class=TaskClass.LOCAL,
+                     node_index=0, timing=timing)
+
+    def test_done_event_initially_pending(self, env):
+        assert not make_unit(env).done.triggered
+
+    def test_is_global_subtask(self, env):
+        assert make_unit(env, task_class=TaskClass.GLOBAL).is_global_subtask
+        assert not make_unit(env, task_class=TaskClass.LOCAL).is_global_subtask
+
+    def test_ids_unique(self, env):
+        assert make_unit(env).id != make_unit(env).id
+
+    def test_repr(self, env):
+        text = repr(make_unit(env))
+        assert "local" in text
+        assert "dl=10" in text
+
+
+class TestNoAbort:
+    def test_never_aborts(self, env):
+        policy = NoAbort()
+        unit = make_unit(env, dl=1.0)
+        assert not policy.should_abort_at_dispatch(unit, now=1e9)
+
+
+class TestAbortTardy:
+    def test_aborts_past_deadline(self, env):
+        policy = AbortTardyAtDispatch()
+        unit = make_unit(env, dl=5.0)
+        assert policy.should_abort_at_dispatch(unit, now=5.1)
+
+    def test_keeps_at_exact_deadline(self, env):
+        policy = AbortTardyAtDispatch()
+        unit = make_unit(env, dl=5.0)
+        assert not policy.should_abort_at_dispatch(unit, now=5.0)
+
+    def test_keeps_before_deadline(self, env):
+        policy = AbortTardyAtDispatch()
+        unit = make_unit(env, dl=5.0)
+        assert not policy.should_abort_at_dispatch(unit, now=2.0)
+
+    def test_uses_natural_deadline_not_virtual(self, env):
+        """A subtask past its virtual deadline but inside the end-to-end
+        deadline is still worth running."""
+        policy = AbortTardyAtDispatch()
+        unit = make_unit(env, dl=5.0, task_class=TaskClass.GLOBAL,
+                         natural_deadline=50.0)
+        assert not policy.should_abort_at_dispatch(unit, now=10.0)
+        assert policy.should_abort_at_dispatch(unit, now=51.0)
+
+    def test_natural_defaults_to_virtual(self, env):
+        assert make_unit(env, dl=5.0).natural_deadline == 5.0
+
+
+class TestAbortVirtual:
+    def test_aborts_past_virtual_deadline(self, env):
+        """The blind component behaviour: discards on the assigned deadline
+        even when the end-to-end deadline is still reachable."""
+        policy = AbortVirtualAtDispatch()
+        unit = make_unit(env, dl=5.0, task_class=TaskClass.GLOBAL,
+                         natural_deadline=50.0)
+        assert policy.should_abort_at_dispatch(unit, now=10.0)
+
+    def test_keeps_before_virtual_deadline(self, env):
+        policy = AbortVirtualAtDispatch()
+        unit = make_unit(env, dl=5.0, natural_deadline=50.0)
+        assert not policy.should_abort_at_dispatch(unit, now=4.0)
+
+
+class TestRegistry:
+    def test_known_policies(self):
+        assert set(OVERLOAD_POLICIES) == {"no-abort", "abort-tardy", "abort-virtual"}
+
+    def test_lookup_case_insensitive(self):
+        assert get_overload_policy("No-Abort").name == "no-abort"
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError):
+            get_overload_policy("panic")

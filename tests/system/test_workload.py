@@ -1,0 +1,264 @@
+"""Unit tests for workload generation (repro.system.workload)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.estimators import uniform_error_estimator
+from repro.core.task import ParallelTask, SerialTask, SimpleTask
+from repro.sim.core import Environment
+from repro.sim.distributions import (
+    Deterministic,
+    DiscreteUniform,
+    Exponential,
+    Uniform,
+    exponential_interarrival,
+)
+from repro.sim.rng import StreamFactory
+from repro.system.metrics import MetricsCollector
+from repro.system.node import Node
+from repro.system.schedulers import EarliestDeadlineFirst
+from repro.system.workload import (
+    LocalTaskSource,
+    ParallelFanFactory,
+    SerialChainFactory,
+    SerialParallelFactory,
+)
+
+
+class TestSerialChainFactory:
+    @pytest.fixture
+    def factory(self, streams):
+        return SerialChainFactory(
+            node_count=6,
+            count=Deterministic(4),
+            execution=Exponential(1.0),
+            slack=Uniform(1.0, 10.0),
+            streams=streams,
+        )
+
+    def test_builds_chain_of_m(self, factory):
+        tree, _ = factory.build(now=0.0)
+        assert isinstance(tree, SerialTask)
+        assert tree.subtask_count() == 4
+
+    def test_deadline_identity(self, factory):
+        """dl = ar + total ex + slack with slack inside the slack range."""
+        tree, deadline = factory.build(now=100.0)
+        slack = deadline - 100.0 - tree.total_ex()
+        assert 1.0 <= slack <= 10.0
+
+    def test_nodes_within_range(self, factory):
+        tree, _ = factory.build(now=0.0)
+        assert all(0 <= leaf.node_index < 6 for leaf in tree.leaves())
+
+    def test_mean_subtask_count(self, factory):
+        assert factory.mean_subtask_count == 4.0
+
+    def test_variable_count(self, streams):
+        factory = SerialChainFactory(
+            node_count=6,
+            count=DiscreteUniform(2, 6),
+            execution=Exponential(1.0),
+            slack=Uniform(1.0, 10.0),
+            streams=streams,
+        )
+        counts = {factory.build(now=0.0)[0].subtask_count() for _ in range(300)}
+        assert counts == {2, 3, 4, 5, 6}
+        assert factory.mean_subtask_count == 4.0
+
+    def test_single_subtask_builds_leaf(self, streams):
+        factory = SerialChainFactory(
+            node_count=3,
+            count=Deterministic(1),
+            execution=Exponential(1.0),
+            slack=Uniform(0.5, 1.0),
+            streams=streams,
+        )
+        tree, _ = factory.build(now=0.0)
+        assert isinstance(tree, SimpleTask)
+
+    def test_noisy_estimator_perturbs_pex_not_ex(self, streams):
+        factory = SerialChainFactory(
+            node_count=6,
+            count=Deterministic(4),
+            execution=Exponential(1.0),
+            slack=Uniform(1.0, 10.0),
+            streams=streams,
+            estimator=uniform_error_estimator(0.5),
+        )
+        tree, deadline = factory.build(now=0.0)
+        for leaf in tree.leaves():
+            assert 0.5 * leaf.ex <= leaf.pex <= 1.5 * leaf.ex
+        slack = deadline - tree.total_ex()
+        assert 1.0 <= slack <= 10.0  # deadline uses real ex, not pex
+
+    def test_reproducible_across_factories(self):
+        def build_once():
+            factory = SerialChainFactory(
+                node_count=6,
+                count=Deterministic(4),
+                execution=Exponential(1.0),
+                slack=Uniform(1.0, 10.0),
+                streams=StreamFactory(7),
+            )
+            tree, deadline = factory.build(now=0.0)
+            return [(leaf.ex, leaf.node_index) for leaf in tree.leaves()], deadline
+
+        assert build_once() == build_once()
+
+    def test_bad_node_count_rejected(self, streams):
+        with pytest.raises(ValueError):
+            SerialChainFactory(
+                node_count=0,
+                count=Deterministic(4),
+                execution=Exponential(1.0),
+                slack=Uniform(0, 1),
+                streams=streams,
+            )
+
+
+class TestParallelFanFactory:
+    @pytest.fixture
+    def factory(self, streams):
+        return ParallelFanFactory(
+            node_count=6,
+            fan_out=4,
+            execution=Exponential(1.0),
+            slack=Uniform(1.25, 5.0),
+            streams=streams,
+        )
+
+    def test_builds_fan(self, factory):
+        tree, _ = factory.build(now=0.0)
+        assert isinstance(tree, ParallelTask)
+        assert tree.subtask_count() == 4
+
+    def test_distinct_nodes(self, factory):
+        """Sec. 5.2: the m subtasks execute at m different nodes."""
+        for _ in range(100):
+            tree, _ = factory.build(now=0.0)
+            nodes = [leaf.node_index for leaf in tree.leaves()]
+            assert len(set(nodes)) == len(nodes)
+
+    def test_deadline_uses_longest_branch(self, factory):
+        """Paper eq. (2): dl = max ex + slack + ar."""
+        tree, deadline = factory.build(now=50.0)
+        longest = max(leaf.ex for leaf in tree.leaves())
+        slack = deadline - 50.0 - longest
+        assert 1.25 <= slack <= 5.0
+
+    def test_fan_out_exceeding_nodes_rejected(self, streams):
+        with pytest.raises(ValueError, match="distinct nodes"):
+            ParallelFanFactory(
+                node_count=3,
+                fan_out=4,
+                execution=Exponential(1.0),
+                slack=Uniform(1, 2),
+                streams=streams,
+            )
+
+    def test_fan_out_one_builds_leaf(self, streams):
+        factory = ParallelFanFactory(
+            node_count=3,
+            fan_out=1,
+            execution=Exponential(1.0),
+            slack=Uniform(1, 2),
+            streams=streams,
+        )
+        tree, _ = factory.build(now=0.0)
+        assert isinstance(tree, SimpleTask)
+
+
+class TestSerialParallelFactory:
+    @pytest.fixture
+    def factory(self, streams):
+        return SerialParallelFactory(
+            node_count=6,
+            stages=2,
+            width=2,
+            execution=Exponential(1.0),
+            slack=Uniform(1.0, 10.0),
+            streams=streams,
+        )
+
+    def test_structure(self, factory):
+        tree, _ = factory.build(now=0.0)
+        assert isinstance(tree, SerialTask)
+        assert len(tree.children) == 2
+        assert all(isinstance(stage, ParallelTask) for stage in tree.children)
+        assert tree.subtask_count() == 4
+
+    def test_deadline_uses_critical_path(self, factory):
+        tree, deadline = factory.build(now=10.0)
+        slack = deadline - 10.0 - tree.total_ex()
+        assert 1.0 <= slack <= 10.0
+
+    def test_distinct_nodes_within_stage(self, factory):
+        for _ in range(50):
+            tree, _ = factory.build(now=0.0)
+            for stage in tree.children:
+                nodes = [leaf.node_index for leaf in stage.leaves()]
+                assert len(set(nodes)) == len(nodes)
+
+    def test_width_one_gives_simple_stages(self, streams):
+        factory = SerialParallelFactory(
+            node_count=3, stages=3, width=1,
+            execution=Exponential(1.0), slack=Uniform(1, 2), streams=streams,
+        )
+        tree, _ = factory.build(now=0.0)
+        assert all(stage.is_leaf for stage in tree.children)
+
+    def test_mean_subtask_count(self, factory):
+        assert factory.mean_subtask_count == 4.0
+
+    @pytest.mark.parametrize("stages,width", [(0, 2), (2, 0), (2, 9)])
+    def test_bad_shape_rejected(self, streams, stages, width):
+        with pytest.raises(ValueError):
+            SerialParallelFactory(
+                node_count=6, stages=stages, width=width,
+                execution=Exponential(1.0), slack=Uniform(1, 2), streams=streams,
+            )
+
+
+class TestLocalTaskSource:
+    def test_generates_poisson_stream(self, env, streams):
+        metrics = MetricsCollector(node_count=1)
+        node = Node(env=env, index=0, policy=EarliestDeadlineFirst(), metrics=metrics)
+        source = LocalTaskSource(
+            env=env,
+            node=node,
+            interarrival=exponential_interarrival(0.5),
+            execution=Exponential(0.1),  # light service to avoid saturation
+            slack=Uniform(0.25, 2.5),
+            streams=streams,
+        )
+        env.run(until=2_000.0)
+        # Expect about rate * horizon = 1000 arrivals.
+        assert source.generated == pytest.approx(1_000, rel=0.15)
+        stats = metrics.snapshot(env.now).local
+        assert stats.completed > 0
+
+    def test_deadline_identity_on_generated_units(self, env, streams):
+        metrics = MetricsCollector(node_count=1)
+        node = Node(env=env, index=0, policy=EarliestDeadlineFirst(), metrics=metrics)
+        captured = []
+        original_submit = node.submit
+
+        def capturing_submit(unit):
+            captured.append(unit)
+            return original_submit(unit)
+
+        node.submit = capturing_submit
+        LocalTaskSource(
+            env=env,
+            node=node,
+            interarrival=exponential_interarrival(1.0),
+            execution=Exponential(1.0),
+            slack=Uniform(0.25, 2.5),
+            streams=streams,
+        )
+        env.run(until=100.0)
+        assert captured
+        for unit in captured:
+            assert 0.25 <= unit.timing.sl <= 2.5

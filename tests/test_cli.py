@@ -1,0 +1,97 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_all_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for experiment_id in ("Fig2", "Fig3", "Fig4", "Sec6", "V1", "V6"):
+            assert experiment_id in out
+
+
+class TestTable1:
+    def test_prints_baseline(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Earliest Deadline First" not in out  # CLI prints config value
+        assert "EDF" in out
+        assert "frac_local" in out
+        assert "0.375" in out     # derived per-node local rate
+        assert "0.1875" in out    # derived global rate
+
+    def test_load_check_matches(self, capsys):
+        main(["table1"])
+        out = capsys.readouterr().out
+        assert "load check (recomputed)" in out
+        assert "0.5" in out
+
+
+class TestRun:
+    def test_runs_variation_at_smoke_scale(self, capsys):
+        assert main(["run", "V4", "--scale", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "MD_global" in out
+        assert "m~U{2..6}" in out
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(KeyError):
+            main(["run", "Fig99"])
+
+    def test_case_insensitive_id(self, capsys):
+        assert main(["run", "v4", "--scale", "smoke"]) == 0
+
+
+class TestSimulate:
+    def test_basic_simulation(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--strategy", "EQF",
+                "--load", "0.4",
+                "--sim-time", "1500",
+                "--warmup", "150",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "MD_local" in out
+        assert "MD_global" in out
+        assert "strategy=EQF" in out
+
+    def test_parallel_structure(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--strategy", "DIV-1",
+                "--structure", "parallel",
+                "--sim-time", "1500",
+                "--warmup", "150",
+            ]
+        )
+        assert code == 0
+        assert "MD_global" in capsys.readouterr().out
+
+    def test_bad_strategy_errors(self):
+        with pytest.raises(ValueError):
+            main(["simulate", "--strategy", "BOGUS",
+                  "--sim-time", "500", "--warmup", "50"])
+
+
+class TestParser:
+    def test_missing_command_exits(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_bad_scale_exits(self):
+        with pytest.raises(SystemExit):
+            main(["run", "Fig2", "--scale", "huge"])
