@@ -7,9 +7,14 @@ asserts its qualitative shape, and archives the rendered output under
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Machine-readable kernel-performance record at the repo root, so future
+#: PRs can diff the perf trajectory (see PERFORMANCE.md).
+BENCH_KERNEL_JSON = Path(__file__).parent.parent / "BENCH_kernel.json"
 
 
 def save_artifact(name: str, text: str) -> Path:
@@ -18,6 +23,38 @@ def save_artifact(name: str, text: str) -> Path:
     path = RESULTS_DIR / f"{name}.txt"
     path.write_text(text + "\n")
     return path
+
+
+def record_kernel_bench(name: str, benchmark) -> Path | None:
+    """Record one microbenchmark's stats into ``BENCH_kernel.json``.
+
+    Called by ``bench_kernel.py`` after each ``benchmark(...)`` run; merges
+    ``{name: {ops_per_second, mean_seconds, ...}}`` into the JSON file so
+    that the kernel's performance trajectory is machine-readable across
+    PRs.  A no-op when the benchmark fixture collected no stats (e.g.
+    ``--benchmark-disable``).
+    """
+    try:
+        stats = benchmark.stats.stats
+        entry = {
+            "ops_per_second": stats.ops,
+            "mean_seconds": stats.mean,
+            "min_seconds": stats.min,
+            "rounds": stats.rounds,
+        }
+    except (AttributeError, TypeError):
+        return None
+    data: dict = {}
+    if BENCH_KERNEL_JSON.exists():
+        try:
+            data = json.loads(BENCH_KERNEL_JSON.read_text())
+        except ValueError:
+            data = {}
+    data.setdefault("microbenchmarks", {})[name] = entry
+    BENCH_KERNEL_JSON.write_text(
+        json.dumps(data, indent=2, sort_keys=True) + "\n"
+    )
+    return BENCH_KERNEL_JSON
 
 
 def series_end(figure, strategy: str, metric: str = "global") -> float:

@@ -17,6 +17,8 @@ from repro.sim.core import Environment
 from repro.system.schedulers import EarliestDeadlineFirst, ReadyQueue
 from repro.system.work import WorkUnit
 
+from _util import record_kernel_bench
+
 
 def test_event_throughput(benchmark):
     """Schedule-and-fire cost of bare timeout events."""
@@ -29,6 +31,7 @@ def test_event_throughput(benchmark):
         return env.now
 
     result = benchmark(run)
+    record_kernel_bench("event_throughput", benchmark)
     assert result > 0
 
 
@@ -50,6 +53,7 @@ def test_process_switching(benchmark):
         return len(done)
 
     assert benchmark(run) == 100
+    record_kernel_bench("process_switching", benchmark)
 
 
 def test_ready_queue_throughput(benchmark):
@@ -81,6 +85,7 @@ def test_ready_queue_throughput(benchmark):
         return popped
 
     assert benchmark(run) == 1_000
+    record_kernel_bench("ready_queue_throughput", benchmark)
 
 
 def test_mm1_queue_cycle(benchmark):
@@ -96,4 +101,5 @@ def test_mm1_queue_cycle(benchmark):
         return result.local.completed
 
     completed = benchmark(run)
+    record_kernel_bench("mm1_queue_cycle", benchmark)
     assert completed > 500

@@ -5,6 +5,7 @@ Usage::
     repro-experiments list
     repro-experiments table1
     repro-experiments run Fig2 --scale quick
+    repro-experiments run Fig2 --scale full --workers 0   # all CPU cores
     repro-experiments run V6 --scale smoke
     repro-experiments simulate --strategy EQF --load 0.5 --structure serial
 
@@ -20,7 +21,7 @@ from typing import Optional, Sequence
 
 from .experiments.figures import FigureResult
 from .experiments.registry import EXPERIMENTS, get_experiment
-from .experiments.runner import SCALES
+from .experiments.runner import SCALES, resolve_workers
 from .experiments.variations import VariationResult
 from .stats.tables import format_percent, render_table
 from .system.config import (
@@ -64,6 +65,15 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=sorted(SCALES),
         default="quick",
         help="run length preset (default: quick)",
+    )
+    run.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help=(
+            "process-pool workers for the experiment's simulation grid "
+            "(default: 1 = serial, 0 = all CPU cores)"
+        ),
     )
 
     simulate = sub.add_parser(
@@ -118,9 +128,14 @@ def _cmd_table1(args: argparse.Namespace) -> int:
 def _cmd_run(args: argparse.Namespace) -> int:
     entry = get_experiment(args.experiment_id)
     scale = SCALES[args.scale]
+    try:
+        workers = resolve_workers(args.workers)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     print(f"running {entry.experiment_id} ({entry.paper_artifact}) at "
-          f"scale={scale.label} ...", file=sys.stderr)
-    result = entry.run(scale)
+          f"scale={scale.label} workers={workers} ...", file=sys.stderr)
+    result = entry.run(scale, workers=workers)
     if isinstance(result, FigureResult):
         print(result.render())
     elif isinstance(result, VariationResult):

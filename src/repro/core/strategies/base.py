@@ -30,7 +30,7 @@ class PriorityClass:
     NORMAL = 1
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SerialContext:
     """Everything an SSP strategy may look at when subtask ``i`` is submitted.
 
@@ -87,7 +87,7 @@ class SerialContext:
         return self.window_deadline - self.submit_time - self.total_remaining_pex
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ParallelContext:
     """Everything a PSP strategy may look at when fanning out a group.
 
@@ -124,6 +124,48 @@ class ParallelContext:
     def window_length(self) -> float:
         """``dl(T) - ar(T)``: the total time the group has."""
         return self.window_deadline - self.window_arrival
+
+
+def fast_serial_context(
+    window_arrival: float,
+    window_deadline: float,
+    submit_time: float,
+    remaining_pex: Tuple[float, ...],
+) -> SerialContext:
+    """Validation-free :class:`SerialContext` constructor.
+
+    The process manager builds one context per serial stage of every global
+    task; its inputs are structurally valid by construction (non-empty
+    slices of a validated tree, non-negative pex from the distributions),
+    so the frozen-dataclass ``__init__``/``__post_init__`` machinery is
+    pure overhead there.
+    """
+    context = object.__new__(SerialContext)
+    _set = object.__setattr__
+    _set(context, "window_arrival", window_arrival)
+    _set(context, "window_deadline", window_deadline)
+    _set(context, "submit_time", submit_time)
+    _set(context, "remaining_pex", remaining_pex)
+    return context
+
+
+def fast_parallel_context(
+    window_arrival: float,
+    window_deadline: float,
+    fan_out: int,
+    index: int,
+    pex: float,
+) -> ParallelContext:
+    """Validation-free :class:`ParallelContext` constructor (see
+    :func:`fast_serial_context`)."""
+    context = object.__new__(ParallelContext)
+    _set = object.__setattr__
+    _set(context, "window_arrival", window_arrival)
+    _set(context, "window_deadline", window_deadline)
+    _set(context, "fan_out", fan_out)
+    _set(context, "index", index)
+    _set(context, "pex", pex)
+    return context
 
 
 class SSPStrategy:

@@ -22,8 +22,13 @@ from dataclasses import dataclass
 from typing import Sequence, Tuple
 
 from ..task import TaskNode
-from .base import ParallelContext, PSPStrategy, SerialContext, SSPStrategy
-from .psp import PSP_STRATEGIES, DivX, make_div
+from .base import (
+    PSPStrategy,
+    SSPStrategy,
+    fast_parallel_context,
+    fast_serial_context,
+)
+from .psp import PSP_STRATEGIES, make_div
 from .ssp import SSP_STRATEGIES
 
 
@@ -62,15 +67,35 @@ class DeadlineAssigner:
         current one first.  Complex children contribute their tree envelope
         as ``pex``.
         """
-        context = SerialContext(
-            window_arrival=window_arrival,
-            window_deadline=window_deadline,
-            submit_time=now,
-            remaining_pex=tuple(child.total_pex() for child in remaining),
-        )
         return Assignment(
-            deadline=self.ssp.assign(context),
+            deadline=self.serial_deadline(
+                tuple(child.total_pex() for child in remaining),
+                now,
+                window_arrival,
+                window_deadline,
+            ),
             priority_class=self.psp.priority_class,
+        )
+
+    def serial_deadline(
+        self,
+        remaining_pex: Tuple[float, ...],
+        now: float,
+        window_arrival: float,
+        window_deadline: float,
+    ) -> float:
+        """Hot-path variant of :meth:`serial_child_deadline`.
+
+        Takes the pre-computed pex envelope of the remaining children
+        (current one first) and returns the bare deadline, skipping the
+        :class:`Assignment` wrapper (its priority class is a per-assigner
+        constant the caller can cache).  Runs once per serial stage of
+        every global task.
+        """
+        return self.ssp.assign(
+            fast_serial_context(
+                window_arrival, window_deadline, now, remaining_pex
+            )
         )
 
     def parallel_child_deadline(
@@ -86,16 +111,29 @@ class DeadlineAssigner:
         parallel task ``now`` equals ``ar(T)``; for a nested group it is
         the fork time, which plays the role of ``ar`` in the DIV-x formula.
         """
-        context = ParallelContext(
-            window_arrival=now,
-            window_deadline=window_deadline,
-            fan_out=len(children),
-            index=index,
-            pex=children[index].total_pex(),
-        )
         return Assignment(
-            deadline=self.psp.assign(context),
+            deadline=self.parallel_deadline(
+                fan_out=len(children),
+                index=index,
+                pex=children[index].total_pex(),
+                now=now,
+                window_deadline=window_deadline,
+            ),
             priority_class=self.psp.priority_class,
+        )
+
+    def parallel_deadline(
+        self,
+        fan_out: int,
+        index: int,
+        pex: float,
+        now: float,
+        window_deadline: float,
+    ) -> float:
+        """Hot-path variant of :meth:`parallel_child_deadline` (bare float,
+        validation-free context; see :meth:`serial_deadline`)."""
+        return self.psp.assign(
+            fast_parallel_context(now, window_deadline, fan_out, index, pex)
         )
 
 

@@ -25,7 +25,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 
-@dataclass
+@dataclass(slots=True)
 class TimingRecord:
     """Mutable timing state attached to each task instance.
 
@@ -146,3 +146,25 @@ class TimingRecord:
             f"TimingRecord(ar={self.ar:.4g}, ex={self.ex:.4g}, "
             f"pex={self.pex:.4g}, dl={dl})"
         )
+
+
+def fast_timing(
+    ar: float, ex: float, pex: float, dl: Optional[float] = None
+) -> "TimingRecord":
+    """Build a :class:`TimingRecord` without constructor validation.
+
+    Hot-path constructor for workload generators and the process manager:
+    they create one record per task, and their inputs come from
+    distributions that are non-negative by construction, so the dataclass
+    ``__init__``/``__post_init__`` checks are redundant there.  Everyone
+    else should use ``TimingRecord(...)``.
+    """
+    timing = TimingRecord.__new__(TimingRecord)
+    timing.ar = ar
+    timing.ex = ex
+    timing.pex = pex
+    timing.dl = dl
+    timing.completed_at = None
+    timing.started_at = None
+    timing.aborted = False
+    return timing

@@ -95,7 +95,9 @@ class FigureResult:
         return "\n".join(parts)
 
 
-def fig2(scale: RunScale = QUICK, seed: int = 1) -> FigureResult:
+def fig2(
+    scale: RunScale = QUICK, seed: int = 1, workers: int = 1
+) -> FigureResult:
     """Fig. 2: SSP strategies on serial tasks as load varies.
 
     Expected shape (paper): local miss ratios are nearly strategy-
@@ -109,6 +111,7 @@ def fig2(scale: RunScale = QUICK, seed: int = 1) -> FigureResult:
         values=FIG2_LOADS,
         strategies=FIG2_STRATEGIES,
         scale=scale,
+        workers=workers,
     )
     return FigureResult(
         figure_id="Fig2",
@@ -118,7 +121,9 @@ def fig2(scale: RunScale = QUICK, seed: int = 1) -> FigureResult:
     )
 
 
-def fig3(scale: RunScale = QUICK, seed: int = 2) -> FigureResult:
+def fig3(
+    scale: RunScale = QUICK, seed: int = 2, workers: int = 1
+) -> FigureResult:
     """Fig. 3: effect of the local-task fraction under UD and EQF.
 
     Expected shape (paper): ``MD_global(UD)`` grows steadily with
@@ -132,6 +137,7 @@ def fig3(scale: RunScale = QUICK, seed: int = 2) -> FigureResult:
         values=FIG3_FRACTIONS,
         strategies=FIG3_STRATEGIES,
         scale=scale,
+        workers=workers,
     )
     return FigureResult(
         figure_id="Fig3",
@@ -145,6 +151,7 @@ def fig4(
     scale: RunScale = QUICK,
     seed: int = 3,
     include_gf: bool = True,
+    workers: int = 1,
 ) -> FigureResult:
     """Fig. 4: PSP strategies on parallel tasks as load varies.
 
@@ -160,6 +167,7 @@ def fig4(
         values=FIG4_LOADS,
         strategies=strategies,
         scale=scale,
+        workers=workers,
     )
     return FigureResult(
         figure_id="Fig4",
@@ -169,7 +177,9 @@ def fig4(
     )
 
 
-def ssp_psp(scale: RunScale = QUICK, seed: int = 4) -> FigureResult:
+def ssp_psp(
+    scale: RunScale = QUICK, seed: int = 4, workers: int = 1
+) -> FigureResult:
     """Sec. 6: the four SSP x PSP combinations on serial-parallel tasks.
 
     Expected shape (paper): UD-UD misses vastly more global deadlines than
@@ -183,6 +193,7 @@ def ssp_psp(scale: RunScale = QUICK, seed: int = 4) -> FigureResult:
         values=SSP_PSP_LOADS,
         strategies=SSP_PSP_STRATEGIES,
         scale=scale,
+        workers=workers,
     )
     return FigureResult(
         figure_id="Sec6",

@@ -17,12 +17,16 @@ from .variations import VARIATIONS
 
 @dataclass(frozen=True)
 class ExperimentDefinition:
-    """One reproducible artifact of the paper."""
+    """One reproducible artifact of the paper.
+
+    ``run`` accepts ``(scale, workers)``; ``workers`` fans the experiment's
+    whole simulation grid out over a process pool (``0`` = all cores).
+    """
 
     experiment_id: str
     paper_artifact: str
     description: str
-    run: Callable[[RunScale], object]
+    run: Callable[..., object]
 
 
 def _figure_entry(experiment_id, artifact, description, fn) -> ExperimentDefinition:
@@ -30,7 +34,7 @@ def _figure_entry(experiment_id, artifact, description, fn) -> ExperimentDefinit
         experiment_id=experiment_id,
         paper_artifact=artifact,
         description=description,
-        run=lambda scale=QUICK: fn(scale=scale),
+        run=lambda scale=QUICK, workers=1: fn(scale=scale, workers=workers),
     )
 
 
@@ -39,7 +43,7 @@ def _variation_entry(experiment_id, description, fn) -> ExperimentDefinition:
         experiment_id=experiment_id,
         paper_artifact="Sec. 4.3 narrative",
         description=description,
-        run=lambda scale=QUICK: fn(scale=scale),
+        run=lambda scale=QUICK, workers=1: fn(scale=scale, workers=workers),
     )
 
 

@@ -19,8 +19,10 @@ every estimate carries a Student-t confidence interval.
 from __future__ import annotations
 
 import multiprocessing
+import warnings
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence
+from functools import cached_property
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..stats.confidence import IntervalEstimate, interval_from_samples
 from ..system.config import SystemConfig
@@ -32,6 +34,15 @@ def run_config(config: SystemConfig) -> RunResult:
     """Build and run one simulation (module-level so it pickles for
     multiprocessing workers)."""
     return Simulation(config).run()
+
+
+def resolve_workers(workers: int) -> int:
+    """Normalize a ``workers`` argument: ``0`` means "all CPU cores"."""
+    if workers == 0:
+        return multiprocessing.cpu_count()
+    if workers < 0:
+        raise ValueError(f"workers must be >= 0, got {workers}")
+    return workers
 
 
 @dataclass(frozen=True)
@@ -91,35 +102,23 @@ class PointEstimate:
         return self.md_global.mean - self.md_local.mean
 
 
-def replicate(
-    config: SystemConfig,
-    replications: int = 2,
-    level: float = 0.95,
-    runner: Optional[Callable[[SystemConfig], RunResult]] = None,
-    workers: int = 1,
-) -> PointEstimate:
-    """Estimate one data point from ``replications`` independent runs.
+def _replication_configs(
+    config: SystemConfig, replications: int
+) -> List[SystemConfig]:
+    """The per-replication configs of one data point.
 
     Replication ``i`` uses seed ``config.seed * 10_000 + i`` so that points
-    of a sweep never share streams.  ``runner`` may be injected for testing
-    (it defaults to building and running a real :class:`Simulation`).
-
-    ``workers > 1`` runs the replications in a process pool -- worthwhile
-    at FULL scale where each replication takes minutes.  Results are
-    deterministic either way (each replication's seed is fixed up front);
-    ``workers`` is ignored when a custom ``runner`` is injected, since
-    closures generally do not pickle.
+    of a sweep never share streams.
     """
-    configs = [
+    return [
         config.with_(seed=config.seed * 10_000 + i) for i in range(replications)
     ]
-    if workers > 1 and runner is None and replications > 1:
-        with multiprocessing.Pool(min(workers, replications)) as pool:
-            results = pool.map(run_config, configs)
-    else:
-        run = runner or run_config
-        results = [run(cfg) for cfg in configs]
 
+
+def _aggregate(
+    config: SystemConfig, results: Sequence[RunResult], level: float
+) -> PointEstimate:
+    """Fold the replications of one data point into a :class:`PointEstimate`."""
     md_locals: List[float] = []
     md_globals: List[float] = []
     utilizations: List[float] = []
@@ -141,6 +140,87 @@ def replicate(
     )
 
 
+def run_grid(
+    configs: Sequence[SystemConfig],
+    replications: int,
+    workers: int = 1,
+    runner: Optional[Callable[[SystemConfig], RunResult]] = None,
+    level: float = 0.95,
+) -> List[PointEstimate]:
+    """Run every grid cell in ``configs``, each ``replications`` times.
+
+    This is the shared engine behind :func:`replicate`, :func:`sweep`, and
+    the variation grids.  With ``workers > 1`` the *entire*
+    (cell x replication) grid is flattened into one process pool, so a
+    6-strategy x 7-point figure saturates every core instead of
+    parallelizing only within a cell.  Results are deterministic regardless
+    of ``workers``: every run's seed is fixed up front and ``pool.map``
+    preserves order.
+
+    An injected ``runner`` cannot cross process boundaries (closures
+    generally do not pickle), so ``workers > 1`` with a runner emits a
+    :class:`RuntimeWarning` and runs serially in-process.
+    """
+    workers = resolve_workers(workers)
+    if workers > 1 and runner is not None:
+        warnings.warn(
+            "workers > 1 requires picklable work; the injected runner runs "
+            "serially in-process",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+    flat = [
+        replication
+        for config in configs
+        for replication in _replication_configs(config, replications)
+    ]
+    # Never fork more processes than runs or CPU cores: oversubscribing a
+    # CPU-bound pool only adds fork/IPC overhead.
+    processes = min(workers, len(flat), multiprocessing.cpu_count())
+    if processes > 1 and runner is None:
+        with multiprocessing.Pool(processes) as pool:
+            flat_results = pool.map(run_config, flat)
+    else:
+        run = runner or run_config
+        flat_results = [run(config) for config in flat]
+    return [
+        _aggregate(
+            config,
+            flat_results[i * replications:(i + 1) * replications],
+            level,
+        )
+        for i, config in enumerate(configs)
+    ]
+
+
+def replicate(
+    config: SystemConfig,
+    replications: int = 2,
+    level: float = 0.95,
+    runner: Optional[Callable[[SystemConfig], RunResult]] = None,
+    workers: int = 1,
+) -> PointEstimate:
+    """Estimate one data point from ``replications`` independent runs.
+
+    Replication ``i`` uses seed ``config.seed * 10_000 + i`` so that points
+    of a sweep never share streams.  ``runner`` may be injected for testing
+    (it defaults to building and running a real :class:`Simulation`).
+
+    ``workers > 1`` (``0`` = all cores) runs the replications in a process
+    pool -- worthwhile at FULL scale where each replication takes minutes.
+    Results are deterministic either way (each replication's seed is fixed
+    up front).  Parallelism here is inherently bounded by ``replications``:
+    with a single replication there is nothing to fan out and the run
+    proceeds serially -- parallelize across the whole grid with
+    ``sweep(workers=...)`` instead.  ``workers > 1`` with an injected
+    ``runner`` emits a :class:`RuntimeWarning` and runs serially, since
+    closures generally do not pickle.
+    """
+    return run_grid(
+        [config], replications, workers=workers, runner=runner, level=level
+    )[0]
+
+
 @dataclass(frozen=True)
 class SweepPoint:
     """One cell of a sweep: (x value, strategy) -> estimates."""
@@ -159,27 +239,33 @@ class SweepResult:
     strategies: Sequence[str]
     points: Sequence[SweepPoint]
 
+    @cached_property
+    def _index(self) -> Dict[Tuple[float, str], SweepPoint]:
+        """Points keyed by ``(x, strategy)``, built once on first lookup.
+
+        ``point()``/``series()`` used to scan ``points`` linearly per call;
+        rendering a figure table made that O(grid^2).
+        """
+        return {(p.x, p.strategy): p for p in self.points}
+
     def series(self, strategy: str, metric: str = "global") -> List[float]:
         """Miss-ratio series of one strategy along the sweep axis.
 
         ``metric`` is ``"global"`` or ``"local"``.
         """
-        chosen = {
-            p.x: (
-                p.estimate.md_global.mean
-                if metric == "global"
-                else p.estimate.md_local.mean
-            )
-            for p in self.points
-            if p.strategy == strategy
-        }
-        return [chosen[x] for x in self.x_values]
+        index = self._index
+        points = [index[(x, strategy)] for x in self.x_values]
+        if metric == "global":
+            return [p.estimate.md_global.mean for p in points]
+        return [p.estimate.md_local.mean for p in points]
 
     def point(self, x: float, strategy: str) -> SweepPoint:
-        for p in self.points:
-            if p.x == x and p.strategy == strategy:
-                return p
-        raise KeyError(f"no point for x={x}, strategy={strategy!r}")
+        try:
+            return self._index[(x, strategy)]
+        except KeyError:
+            raise KeyError(
+                f"no point for x={x}, strategy={strategy!r}"
+            ) from None
 
 
 def sweep(
@@ -195,27 +281,34 @@ def sweep(
 
     ``parameter`` must be a field of :class:`SystemConfig` (e.g., ``load``
     or ``frac_local``).  Each grid cell gets a distinct base seed so the
-    cells are statistically independent.  ``workers`` parallelizes the
-    replications within each cell (see :func:`replicate`).
+    cells are statistically independent.  ``workers`` (``0`` = all cores)
+    parallelizes the *whole* (value x strategy x replication) grid in one
+    process pool (see :func:`run_grid`); results are identical to a
+    single-worker run.
     """
-    points: List[SweepPoint] = []
+    cells: List[Tuple[float, str]] = []
+    configs: List[SystemConfig] = []
     for vi, value in enumerate(values):
         for si, strategy in enumerate(strategies):
-            config = scale.apply(
-                base.with_(
-                    **{parameter: value},
-                    strategy=strategy,
-                    seed=base.seed + 1_000 * vi + si,
+            cells.append((value, strategy))
+            configs.append(
+                scale.apply(
+                    base.with_(
+                        **{parameter: value},
+                        strategy=strategy,
+                        seed=base.seed + 1_000 * vi + si,
+                    )
                 )
             )
-            estimate = replicate(
-                config, replications=scale.replications, runner=runner,
-                workers=workers,
-            )
-            points.append(SweepPoint(x=value, strategy=strategy, estimate=estimate))
+    estimates = run_grid(
+        configs, scale.replications, workers=workers, runner=runner
+    )
     return SweepResult(
         parameter=parameter,
         x_values=list(values),
         strategies=list(strategies),
-        points=points,
+        points=[
+            SweepPoint(x=value, strategy=strategy, estimate=estimate)
+            for (value, strategy), estimate in zip(cells, estimates)
+        ],
     )

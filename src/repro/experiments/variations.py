@@ -25,7 +25,7 @@ from typing import Callable, List, Optional, Sequence
 
 from ..stats.tables import format_percent, render_table
 from ..system.config import SystemConfig, baseline_config
-from .runner import QUICK, PointEstimate, RunScale, replicate
+from .runner import QUICK, PointEstimate, RunScale, run_grid
 
 
 @dataclass(frozen=True)
@@ -73,25 +73,33 @@ def _run_grid(
     strategies: Sequence[str],
     scale: RunScale,
     base: Optional[SystemConfig] = None,
+    workers: int = 1,
 ) -> VariationResult:
     """Run a (setting x strategy) grid.
 
     ``settings`` is a list of ``(label, config_transform)`` pairs where the
-    transform maps a base config to the varied config.
+    transform maps a base config to the varied config.  ``workers``
+    (``0`` = all cores) fans the whole grid out over one process pool (see
+    :func:`repro.experiments.runner.run_grid`).
     """
     base = base or baseline_config()
-    rows: List[VariationRow] = []
+    cells: List[tuple] = []
+    configs: List[SystemConfig] = []
     for si, (label, transform) in enumerate(settings):
         for ti, strategy in enumerate(strategies):
-            config = scale.apply(
-                transform(base).with_(
-                    strategy=strategy, seed=base.seed + 1_000 * si + ti
+            cells.append((label, strategy))
+            configs.append(
+                scale.apply(
+                    transform(base).with_(
+                        strategy=strategy, seed=base.seed + 1_000 * si + ti
+                    )
                 )
             )
-            estimate = replicate(config, replications=scale.replications)
-            rows.append(
-                VariationRow(setting=label, strategy=strategy, estimate=estimate)
-            )
+    estimates = run_grid(configs, scale.replications, workers=workers)
+    rows = [
+        VariationRow(setting=label, strategy=strategy, estimate=estimate)
+        for (label, strategy), estimate in zip(cells, estimates)
+    ]
     return VariationResult(variation_id=variation_id, title=title, rows=rows)
 
 
@@ -99,6 +107,7 @@ def pex_error_sweep(
     errors: Sequence[float] = (0.0, 0.25, 0.5, 0.9),
     strategies: Sequence[str] = ("UD", "EQF"),
     scale: RunScale = QUICK,
+    workers: int = 1,
 ) -> VariationResult:
     """V1: random error in execution-time predictions.
 
@@ -110,13 +119,14 @@ def pex_error_sweep(
     ]
     return _run_grid(
         "V1", "random error in execution time estimates",
-        settings, strategies, scale,
+        settings, strategies, scale, workers=workers,
     )
 
 
 def abort_policy_comparison(
     strategies: Sequence[str] = ("UD", "EQF"),
     scale: RunScale = QUICK,
+    workers: int = 1,
 ) -> VariationResult:
     """V2: firm overload management (tardy tasks aborted at dispatch).
 
@@ -134,13 +144,14 @@ def abort_policy_comparison(
     ]
     return _run_grid(
         "V2", "overload policy: no-abort vs abort-tardy vs abort-virtual",
-        settings, strategies, scale,
+        settings, strategies, scale, workers=workers,
     )
 
 
 def scheduler_comparison(
     strategies: Sequence[str] = ("UD", "EQF"),
     scale: RunScale = QUICK,
+    workers: int = 1,
 ) -> VariationResult:
     """V3: minimum-laxity-first (and FCFS control) local schedulers."""
     settings = [
@@ -150,13 +161,14 @@ def scheduler_comparison(
     ]
     return _run_grid(
         "V3", "local scheduling algorithm",
-        settings, strategies, scale,
+        settings, strategies, scale, workers=workers,
     )
 
 
 def variable_subtasks(
     strategies: Sequence[str] = ("UD", "EQF"),
     scale: RunScale = QUICK,
+    workers: int = 1,
 ) -> VariationResult:
     """V4: global tasks with a random number of subtasks (U{2..6})."""
     settings = [
@@ -165,13 +177,14 @@ def variable_subtasks(
     ]
     return _run_grid(
         "V4", "variable number of subtasks per global task",
-        settings, strategies, scale,
+        settings, strategies, scale, workers=workers,
     )
 
 
 def heterogeneous_nodes(
     strategies: Sequence[str] = ("UD", "EQF"),
     scale: RunScale = QUICK,
+    workers: int = 1,
 ) -> VariationResult:
     """V5: some nodes carry higher local loads than others.
 
@@ -185,7 +198,7 @@ def heterogeneous_nodes(
     ]
     return _run_grid(
         "V5", "heterogeneous per-node local loads",
-        settings, strategies, scale,
+        settings, strategies, scale, workers=workers,
     )
 
 
@@ -193,6 +206,7 @@ def slack_sweep(
     flex_values: Sequence[float] = (0.25, 0.5, 1.0, 2.0, 4.0, 8.0),
     strategies: Sequence[str] = ("UD", "EQF"),
     scale: RunScale = QUICK,
+    workers: int = 1,
 ) -> VariationResult:
     """V6: EQF's advantage across slack tightness (``rel_flex`` sweep).
 
@@ -206,7 +220,7 @@ def slack_sweep(
     ]
     return _run_grid(
         "V6", "EQF gain across slack tightness",
-        settings, strategies, scale,
+        settings, strategies, scale, workers=workers,
     )
 
 

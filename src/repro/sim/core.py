@@ -24,6 +24,7 @@ Design notes
 from __future__ import annotations
 
 import heapq
+from heapq import heappop, heappush
 from typing import Any, Callable, Generator, Iterable, Optional
 
 from .errors import EventLifecycleError, SimulationError, StopSimulation
@@ -37,6 +38,9 @@ NORMAL = 1
 URGENT = 0
 
 Callback = Callable[["Event"], None]
+
+#: Lazily resolved :class:`~repro.sim.process.Process` (import cycle guard).
+_Process = None
 
 
 class Event:
@@ -97,11 +101,13 @@ class Event:
 
         Returns ``self`` for chaining (``return event.succeed(x)``).
         """
-        if self.triggered:
+        if self._value is not _PENDING:
             raise EventLifecycleError(f"{self!r} has already been triggered")
         self._ok = True
         self._value = value
-        self.env._schedule(self, NORMAL, 0.0)
+        env = self.env
+        env._seq += 1
+        heappush(env._queue, (env._now, NORMAL, env._seq, self))
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -114,16 +120,34 @@ class Event:
         """
         if not isinstance(exception, BaseException):
             raise TypeError(f"fail() needs an exception, got {exception!r}")
-        if self.triggered:
+        if self._value is not _PENDING:
             raise EventLifecycleError(f"{self!r} has already been triggered")
         self._ok = False
         self._value = exception
-        self.env._schedule(self, NORMAL, 0.0)
+        env = self.env
+        env._seq += 1
+        heappush(env._queue, (env._now, NORMAL, env._seq, self))
         return self
 
     def defuse(self) -> None:
         """Mark a failed event as handled, silencing the crash-on-fail."""
         self._defused = True
+
+    def _reset(self) -> None:
+        """Return a processed event to the pristine pending state.
+
+        Internal reuse hook: a single event object can serve many
+        wait/trigger cycles (the node wakeup in
+        :meth:`repro.system.node.Node._server` is the canonical user),
+        avoiding one allocation per idle cycle.  Only safe once the event
+        has been processed and no other party retains a reference that
+        expects the old value.
+        """
+        self.callbacks = []
+        self._value = _PENDING
+        self._ok = True
+        self._processed = False
+        self._defused = False
 
     # -- composition -----------------------------------------------------
 
@@ -155,21 +179,45 @@ _PENDING = _PendingType()
 
 
 class Timeout(Event):
-    """An event that fires automatically after a fixed delay."""
+    """An event that fires automatically after a fixed delay.
+
+    Timeouts dominate event traffic (every service interval and every
+    interarrival gap is one), so construction writes the slots directly and
+    pushes onto the event list inline instead of chaining through
+    ``Event.__init__`` + ``Environment._schedule``.
+    """
 
     __slots__ = ("delay",)
 
     def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay!r}")
-        super().__init__(env)
-        self.delay = delay
-        self._ok = True
+        self.env = env
+        self.callbacks = []
         self._value = value
-        env._schedule(self, NORMAL, delay)
+        self._ok = True
+        self._processed = False
+        self._defused = False
+        self.delay = delay
+        env._seq += 1
+        heappush(env._queue, (env._now + delay, NORMAL, env._seq, self))
 
     def __repr__(self) -> str:
         return f"<Timeout delay={self.delay!r} at {id(self):#x}>"
+
+
+class _Sleep(Timeout):
+    """A pooled timeout reserved for kernel-internal sleep cycles.
+
+    Created only via :meth:`Environment._sleep`.  When the run loop
+    finishes processing one of these it returns the object (and its
+    callback list) to the environment's pool for the next ``_sleep`` call,
+    eliminating the two allocations per service interval / interarrival
+    gap that dominate event traffic.  The contract: callers must not
+    retain the event after it fires.
+    """
+
+    __slots__ = ()
 
 
 class ConditionValue:
@@ -276,11 +324,14 @@ class Environment:
         env.run(until=100)
     """
 
+    __slots__ = ("_now", "_queue", "_seq", "_active_process", "_sleep_pool")
+
     def __init__(self, initial_time: float = 0.0) -> None:
         self._now = float(initial_time)
         self._queue: list[tuple[float, int, int, Event]] = []
         self._seq = 0
         self._active_process = None  # set by Process while running
+        self._sleep_pool: list[_Sleep] = []
 
     # -- clock -----------------------------------------------------------
 
@@ -304,6 +355,27 @@ class Environment:
         """Create an event that fires ``delay`` time units from now."""
         return Timeout(self, delay, value)
 
+    def _sleep(self, delay: float) -> Timeout:
+        """Pooled :class:`Timeout` for kernel-internal hot loops.
+
+        Same semantics as ``timeout(delay)``, but the returned event is
+        recycled by the run loop once it has fired, so callers (node
+        servers, workload sources) MUST NOT retain it afterwards.  Use
+        :meth:`timeout` anywhere the event may outlive its firing.
+        """
+        pool = self._sleep_pool
+        if not pool:
+            return _Sleep(self, delay)
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay!r}")
+        event = pool.pop()
+        event.delay = delay
+        event._processed = False
+        # callbacks is already a fresh empty list, _value None, _ok True.
+        self._seq += 1
+        heappush(self._queue, (self._now + delay, NORMAL, self._seq, event))
+        return event
+
     def all_of(self, events: Iterable[Event]) -> AllOf:
         """Create an event that fires once all of ``events`` have fired."""
         return AllOf(self, events)
@@ -314,9 +386,10 @@ class Environment:
 
     def process(self, generator: Generator) -> "Process":
         """Start a new process running ``generator``."""
-        from .process import Process  # local import to avoid cycle
-
-        return Process(self, generator)
+        global _Process
+        if _Process is None:  # resolved once; avoids a per-call import
+            from .process import Process as _Process
+        return _Process(self, generator)
 
     # -- scheduling ------------------------------------------------------
 
@@ -326,6 +399,34 @@ class Environment:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
         self._seq += 1
         heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+
+    def _schedule_call(
+        self,
+        callback: Callback,
+        ok: bool = True,
+        value: Any = None,
+        defused: bool = False,
+        priority: int = URGENT,
+    ) -> Event:
+        """Schedule a lightweight single-callback event at the current time.
+
+        Internal fast path for kernel bookkeeping (start-of-process kicks,
+        interrupt pokes, already-fired-target resumptions, node server
+        wake-ups): builds a bare :class:`Event` without running
+        ``__init__``/``succeed`` and places it on the event list, by
+        default with :data:`URGENT` priority so it runs before any normal
+        event at the same timestamp.
+        """
+        event = Event.__new__(Event)
+        event.env = self
+        event.callbacks = [callback]
+        event._value = value
+        event._ok = ok
+        event._processed = False
+        event._defused = defused
+        self._seq += 1
+        heappush(self._queue, (self._now, priority, self._seq, event))
+        return event
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
@@ -379,12 +480,36 @@ class Environment:
                 )
             stop_event = None
 
+        # Inlined copy of step() -- see that method for the commented
+        # reference semantics.  Dispatching an event here costs one heappop
+        # plus the callback calls; the method-call version pays a peek(),
+        # a step() call, and several attribute lookups per event, which at
+        # millions of events per run dominates wall-clock time.
+        queue = self._queue
+        pop = heappop
+        sleep_pool = self._sleep_pool
         try:
-            while self._queue:
-                if self.peek() > stop_at:
+            while queue:
+                when, _priority, _seq, event = pop(queue)
+                if when > stop_at:
+                    # Beyond the horizon: put it back for a later run().
+                    heappush(queue, (when, _priority, _seq, event))
                     self._now = stop_at
                     break
-                self.step()
+                self._now = when
+                callbacks = event.callbacks
+                event.callbacks = None
+                event._processed = True
+                for callback in callbacks:
+                    callback(event)
+                if not event._ok and not event._defused:
+                    raise event._value
+                if type(event) is _Sleep:
+                    # Recycle the pooled sleep (and its callback list) for
+                    # the next Environment._sleep call.
+                    callbacks.clear()
+                    event.callbacks = callbacks
+                    sleep_pool.append(event)
         except StopSimulation as stop:
             return stop.value
         else:

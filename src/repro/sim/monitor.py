@@ -143,8 +143,25 @@ class TimeWeighted:
             self.max = value
 
     def increment(self, delta: float, now: float) -> None:
-        """Shift the signal by ``delta`` (e.g., queue length +1/-1)."""
-        self.update(self._value + delta, now)
+        """Shift the signal by ``delta`` (e.g., queue length +1/-1).
+
+        Inlined copy of :meth:`update` -- this runs twice per work unit
+        (enqueue/dequeue), and the extra call frame is measurable there.
+        """
+        last = self._last_time
+        if now < last:
+            raise ValueError(
+                f"time went backwards: {now} < {last} in {self.name!r}"
+            )
+        old = self._value
+        value = old + delta
+        self._area += old * (now - last)
+        self._last_time = now
+        self._value = value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
 
     def mean_at(self, now: float) -> float:
         """Time-weighted mean over ``[start_time, now]``."""

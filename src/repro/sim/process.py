@@ -17,14 +17,14 @@ from __future__ import annotations
 
 from typing import Any, Generator, Optional
 
-from .core import Environment, Event, URGENT
+from .core import Environment, Event
 from .errors import Interrupt, ProcessError
 
 
 class Process(Event):
     """A running simulation process (and the event of its termination)."""
 
-    __slots__ = ("_generator", "_target", "name")
+    __slots__ = ("_generator", "_target", "name", "_send", "_throw")
 
     def __init__(
         self,
@@ -38,16 +38,16 @@ class Process(Event):
             )
         super().__init__(env)
         self._generator = generator
+        # Bound once: _resume runs once per context switch, and attribute
+        # dispatch on the generator is measurable at that rate.
+        self._send = generator.send
+        self._throw = generator.throw
         self.name = name or getattr(generator, "__name__", "process")
         #: The event this process is currently waiting on (``None`` when the
         #: process is active or finished).
         self._target: Optional[Event] = None
         # Kick the process off at the current time, ahead of normal events.
-        init = Event(env)
-        init._ok = True
-        init._value = None
-        init.callbacks.append(self._resume)
-        env._schedule(init, URGENT, 0.0)
+        env._schedule_call(self._resume)
 
     # -- inspection --------------------------------------------------------
 
@@ -73,75 +73,75 @@ class Process(Event):
             raise ProcessError(f"cannot interrupt dead process {self.name!r}")
         if self.env.active_process is self:
             raise ProcessError("a process cannot interrupt itself")
-        poke = Event(self.env)
-        poke._ok = False
-        poke._value = Interrupt(cause)
-        poke._defused = True
-        poke.callbacks.append(self._resume)
-        self.env._schedule(poke, URGENT, 0.0)
+        self.env._schedule_call(
+            self._resume, ok=False, value=Interrupt(cause), defused=True
+        )
 
     # -- engine --------------------------------------------------------------
 
     def _resume(self, trigger: Event) -> None:
         """Advance the generator with the value/exception of ``trigger``."""
-        self.env._active_process = self
-        # Detach from the event we were waiting on (relevant for interrupts:
-        # the original target may fire later and must not resume us again).
-        if self._target is not None and self._target.callbacks is not None:
-            try:
-                self._target.callbacks.remove(self._resume)
-            except ValueError:
-                pass
-        self._target = None
+        env = self.env
+        env._active_process = self
+        target = self._target
+        if target is not None:
+            self._target = None
+            # Detach from the event we were waiting on (relevant for
+            # interrupts: the original target may fire later and must not
+            # resume us again).  When the trigger *is* the target -- the
+            # overwhelmingly common case -- the kernel already cleared its
+            # callback list, so nothing needs removing.
+            if target is not trigger and target.callbacks is not None:
+                try:
+                    target.callbacks.remove(self._resume)
+                except ValueError:
+                    pass
 
         try:
             if trigger._ok:
-                target = self._generator.send(trigger._value)
+                target = self._send(trigger._value)
             else:
                 # The exception was "handed over" to this process.
-                trigger.defuse()
-                target = self._generator.throw(trigger._value)
+                trigger._defused = True
+                target = self._throw(trigger._value)
         except StopIteration as stop:
-            self.env._active_process = None
+            env._active_process = None
             self.succeed(stop.value)
             return
-        except Interrupt as exc:
-            # An unhandled interrupt terminates the process abnormally but
-            # is not a model bug: the process event fails with the cause.
-            self.env._active_process = None
-            self.fail(exc)
-            return
         except BaseException as exc:
-            self.env._active_process = None
+            # An unhandled interrupt terminates the process abnormally but
+            # is not a model bug: either way the process event fails with
+            # the exception, and waiting processes see it.
+            env._active_process = None
             self.fail(exc)
             return
-        self.env._active_process = None
+        env._active_process = None
 
-        if not isinstance(target, Event):
-            error = ProcessError(
-                f"process {self.name!r} yielded {target!r}; processes may "
-                "only yield Event instances"
-            )
-            try:
-                self._generator.throw(error)
-            except StopIteration:
-                self.succeed(None)
-            except BaseException as exc:
-                self.fail(exc)
+        if isinstance(target, Event):
+            callbacks = target.callbacks
+            if callbacks is not None:
+                callbacks.append(self._resume)
+                self._target = target
+            else:
+                # Already processed: resume immediately at the current time.
+                ok = target._ok
+                if not ok:
+                    target._defused = True
+                env._schedule_call(
+                    self._resume, ok=ok, value=target._value, defused=not ok
+                )
             return
-        if target.callbacks is None:
-            # Already processed: resume immediately at the current time.
-            poke = Event(self.env)
-            poke._ok = target._ok
-            poke._value = target._value
-            if not target._ok:
-                target.defuse()
-                poke._defused = True
-            poke.callbacks.append(self._resume)
-            self.env._schedule(poke, URGENT, 0.0)
-        else:
-            target.callbacks.append(self._resume)
-            self._target = target
+
+        error = ProcessError(
+            f"process {self.name!r} yielded {target!r}; processes may "
+            "only yield Event instances"
+        )
+        try:
+            self._generator.throw(error)
+        except StopIteration:
+            self.succeed(None)
+        except BaseException as exc:
+            self.fail(exc)
 
     def __repr__(self) -> str:
         state = "alive" if self.is_alive else "dead"

@@ -124,6 +124,9 @@ class _ClassAccumulator:
         )
 
 
+_LOCAL = TaskClass.LOCAL
+
+
 class MetricsCollector:
     """Central sink for task outcomes and node load signals."""
 
@@ -131,6 +134,9 @@ class MetricsCollector:
         self._classes: Dict[TaskClass, _ClassAccumulator] = {
             cls: _ClassAccumulator(cls.value) for cls in TaskClass
         }
+        # Bound once: accumulators are reset in place, never replaced.
+        self._local_acc = self._classes[TaskClass.LOCAL]
+        self._global_acc = self._classes[TaskClass.GLOBAL]
         self.node_busy: List[TimeWeighted] = [
             TimeWeighted(f"node-{i}/busy") for i in range(node_count)
         ]
@@ -139,14 +145,27 @@ class MetricsCollector:
         ]
         self.node_dispatched: List[int] = [0] * node_count
         self._warmup_end = 0.0
-        #: Optional execution tracer (see :mod:`repro.system.tracing`).
-        #: ``None`` keeps the hot path free of tracing overhead.
-        self.tracer = None
+        self._tracer = None
+
+    @property
+    def tracer(self):
+        """Optional execution tracer (see :mod:`repro.system.tracing`).
+
+        ``None`` (the default) keeps the hot path free of tracing
+        overhead: the node loops read the backing ``_tracer`` field and
+        guard every trace point with an ``is None`` check, so tracing off
+        costs one pointer comparison per trace point.
+        """
+        return self._tracer
+
+    @tracer.setter
+    def tracer(self, tracer) -> None:
+        self._tracer = tracer
 
     def trace(self, time: float, kind: str, unit, node_index: int) -> None:
         """Forward one scheduling event to the tracer, if attached."""
-        if self.tracer is not None:
-            self.tracer.record(time, kind, unit, node_index)
+        if self._tracer is not None:
+            self._tracer.record(time, kind, unit, node_index)
 
     # -- recording ---------------------------------------------------------
 
@@ -157,9 +176,8 @@ class MetricsCollector:
         an end-to-end measure, recorded once per global task by
         :meth:`record_global_completion`.
         """
-        if unit.task_class is not TaskClass.LOCAL:
-            return
-        self._record(self._classes[TaskClass.LOCAL], unit)
+        if unit.task_class is _LOCAL:
+            self._record(self._local_acc, unit)
 
     def record_global_completion(
         self,
@@ -169,7 +187,7 @@ class MetricsCollector:
         lateness: float,
     ) -> None:
         """Record the end-to-end outcome of one global task."""
-        acc = self._classes[TaskClass.GLOBAL]
+        acc = self._global_acc
         if aborted:
             acc.aborted += 1
             acc.missed += 1
@@ -181,18 +199,64 @@ class MetricsCollector:
         acc.lateness.observe(lateness)
 
     def _record(self, acc: _ClassAccumulator, unit: WorkUnit) -> None:
+        # Inlined equivalents of timing.missed / .response_time / .lateness
+        # / .waiting_time plus the three Tally.observe calls (Welford's
+        # update, same arithmetic): this runs once per completed unit, and
+        # the property chain plus three call frames cost more than the
+        # whole update.  A node only records after stamping completed_at,
+        # so the property guards cannot fire here.
         timing = unit.timing
         if timing.aborted:
             acc.aborted += 1
             acc.missed += 1
             return
         acc.completed += 1
-        if timing.missed:
+        completed_at = timing.completed_at
+        deadline = timing.dl
+        if completed_at > deadline:
             acc.missed += 1
-        acc.response.observe(timing.response_time)
-        acc.lateness.observe(timing.lateness)
-        if timing.started_at is not None:
-            acc.waiting.observe(timing.waiting_time)
+        arrival = timing.ar
+
+        tally = acc.response
+        value = completed_at - arrival
+        count = tally.count + 1
+        tally.count = count
+        tally.total += value
+        delta = value - tally._mean
+        tally._mean += delta / count
+        tally._m2 += delta * (value - tally._mean)
+        if value < tally.min:
+            tally.min = value
+        if value > tally.max:
+            tally.max = value
+
+        tally = acc.lateness
+        value = completed_at - deadline
+        count = tally.count + 1
+        tally.count = count
+        tally.total += value
+        delta = value - tally._mean
+        tally._mean += delta / count
+        tally._m2 += delta * (value - tally._mean)
+        if value < tally.min:
+            tally.min = value
+        if value > tally.max:
+            tally.max = value
+
+        started_at = timing.started_at
+        if started_at is not None:
+            tally = acc.waiting
+            value = started_at - arrival
+            count = tally.count + 1
+            tally.count = count
+            tally.total += value
+            delta = value - tally._mean
+            tally._mean += delta / count
+            tally._m2 += delta * (value - tally._mean)
+            if value < tally.min:
+                tally.min = value
+            if value > tally.max:
+                tally.max = value
 
     def count_dispatch(self, node_index: int) -> None:
         """Count one dispatch decision at a node."""
@@ -208,7 +272,8 @@ class MetricsCollector:
             signal.reset(now)
         for signal in self.node_queue:
             signal.reset(now)
-        self.node_dispatched = [0] * len(self.node_dispatched)
+        # In place: node server loops hold a reference to this list.
+        self.node_dispatched[:] = [0] * len(self.node_dispatched)
         self._warmup_end = now
 
     def snapshot(self, now: float) -> RunResult:

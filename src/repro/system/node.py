@@ -6,14 +6,30 @@ ready queue ordered by a :class:`~repro.system.schedulers.SchedulingPolicy`.
 Nodes are fully independent: they share no state and never coordinate,
 matching the paper's "open system" assumption.
 
-The server is a simulation process: it sleeps while the queue is empty,
-picks the highest-priority unit otherwise, optionally consults the overload
-policy (abort-at-dispatch), serves the unit for its *real* execution time,
-and fires the unit's completion event.
+The server sleeps while the queue is empty, picks the highest-priority
+unit otherwise, optionally consults the overload policy
+(abort-at-dispatch), serves the unit for its *real* execution time, and
+fires the unit's completion event.
+
+Hot-path notes
+--------------
+
+The server executes once per work unit for the entire run, so it is
+written for speed: it is a callback-driven state machine (dispatching
+directly from submissions and service-completion events, with no
+generator process, no coroutine switch, and no idle-wakeup event),
+collaborator state is bound once, the overload hook is skipped entirely
+under the ``NoAbort`` baseline, trace calls are guarded by a tracer
+``None`` check (tracing off must cost nothing), monitor updates are
+inlined, and completion events are only fired for units whose submitter
+actually asked for one.  The preemptive subclass keeps a generator-based
+server (interruption needs a process); only this non-preemptive node uses
+the callback machine.
 """
 
 from __future__ import annotations
 
+from heapq import heappop, heappush
 from typing import Optional
 
 from ..sim.core import Environment, Event
@@ -39,9 +55,26 @@ class Node:
         self.queue = ReadyQueue(policy)
         self.metrics = metrics
         self.overload_policy = overload_policy or NoAbort()
-        self._wakeup: Optional[Event] = None
         self._busy = False
-        self.process = env.process(self._server())
+        self._serving: Optional[WorkUnit] = None
+        self._wake_pending = False
+        self._queue_signal = metrics.node_queue[index]
+        self._busy_signal = metrics.node_busy[index]
+        # Ready-queue internals and callback methods, bound once: pushes,
+        # dispatches and completions run once per unit, and bound-method
+        # creation alone is measurable at that rate.
+        queue = self.queue
+        self._heap = queue._heap  # mutated in place by the queue
+        self._queue_key = queue._key
+        self._queue_seq = queue._seq
+        self._on_complete = self._complete
+        self._on_wake = self._wake
+        overload = self.overload_policy
+        self._abort_check = (
+            None
+            if type(overload) is NoAbort
+            else overload.should_abort_at_dispatch
+        )
 
     # -- submission ---------------------------------------------------------
 
@@ -52,17 +85,62 @@ class Node:
         submission instant by definition), and its deadline must already be
         assigned by the SDA strategy.
         """
+        self.submit_nowait(unit)
+        return unit.done
+
+    def submit_nowait(self, unit: WorkUnit) -> None:
+        """Enqueue ``unit`` without materializing its completion event.
+
+        Fast path for fire-and-forget submitters (the local task sources
+        never join on their units): skipping the completion event saves an
+        event allocation plus one dead event-list entry per completion.
+        """
         if unit.node_index != self.index:
             raise ValueError(
                 f"{unit!r} routed to node {self.index}, expected "
                 f"{unit.node_index}"
             )
-        self.queue.push(unit)
-        self.metrics.node_queue[self.index].increment(1, self.env.now)
-        self.metrics.trace(self.env.now, "submit", unit, self.index)
-        if self._wakeup is not None and not self._wakeup.triggered:
-            self._wakeup.succeed()
-        return unit.done
+        # Inlined ReadyQueue.push (see schedulers.py for the reference).
+        heappush(
+            self._heap,
+            (
+                unit.priority_class,
+                self._queue_key(unit),
+                next(self._queue_seq),
+                unit,
+            ),
+        )
+        now = self.env._now
+        # Inlined self._queue_signal.increment(1, now): kernel time is
+        # monotone, and a +1 step can raise only the maximum.
+        signal = self._queue_signal
+        old = signal._value
+        signal._area += old * (now - signal._last_time)
+        signal._last_time = now
+        value = old + 1.0
+        signal._value = value
+        if value > signal.max:
+            signal.max = value
+        metrics = self.metrics
+        if metrics._tracer is not None:
+            metrics._tracer.record(now, "submit", unit, self.index)
+        # Wake the idle server.  The dispatch is deferred by one urgent
+        # event rather than run synchronously so that submissions landing
+        # at the same simulation instant are scheduled as a batch -- the
+        # policy (EDF, MLF) must order simultaneous arrivals, not
+        # submission order.  Urgent priority keeps the classic semantics
+        # that an idle server starts earlier-submitted work before
+        # bookkeeping scheduled afterwards (e.g. a pre-run blocker must
+        # enter service before a process manager launched after it can
+        # slip a later unit in front).
+        if not self._busy and not self._wake_pending:
+            self._wake_pending = True
+            self.env._schedule_call(self._on_wake)
+
+    def _wake(self, _event) -> None:
+        """Deferred idle-server wake-up: start serving."""
+        self._wake_pending = False
+        self._dispatch_next()
 
     @property
     def busy(self) -> bool:
@@ -74,40 +152,86 @@ class Node:
         """Number of units waiting (not including the one in service)."""
         return len(self.queue)
 
-    # -- server loop ----------------------------------------------------------
+    # -- server state machine -------------------------------------------------
 
-    def _server(self):
+    def _dispatch_next(self) -> None:
+        """Serve the highest-priority queued unit, or go idle.
+
+        Runs at submission time (when idle) and from the completion
+        callback; immediate aborts drain in the loop without touching the
+        event list.
+        """
         env = self.env
-        busy_signal = self.metrics.node_busy[self.index]
-        queue_signal = self.metrics.node_queue[self.index]
-        while True:
-            if not self.queue:
-                self._wakeup = env.event()
-                yield self._wakeup
-                self._wakeup = None
-            unit = self.queue.pop()
-            queue_signal.increment(-1, env.now)
-            self.metrics.count_dispatch(self.index)
+        index = self.index
+        metrics = self.metrics
+        heap = self._heap
+        queue_signal = self._queue_signal
+        abort_check = self._abort_check
+        while heap:
+            unit = heappop(heap)[3]
+            now = env._now
+            # Inlined queue_signal.increment(-1, now): a -1 step can lower
+            # only the minimum.
+            old = queue_signal._value
+            queue_signal._area += old * (now - queue_signal._last_time)
+            queue_signal._last_time = now
+            qlen = old - 1.0
+            queue_signal._value = qlen
+            if qlen < queue_signal.min:
+                queue_signal.min = qlen
+            metrics.node_dispatched[index] += 1
             timing = unit.timing
 
-            if self.overload_policy.should_abort_at_dispatch(unit, env.now):
+            if abort_check is not None and abort_check(unit, now):
                 timing.aborted = True
-                self.metrics.trace(env.now, "abort", unit, self.index)
-                self.metrics.record_unit_completion(unit)
-                unit.done.succeed(unit)
+                if metrics._tracer is not None:
+                    metrics._tracer.record(now, "abort", unit, index)
+                metrics.record_unit_completion(unit)
+                done = unit._done
+                if done is not None:
+                    done.succeed(unit)
                 continue
 
             self._busy = True
-            busy_signal.update(1, env.now)
-            timing.started_at = env.now
-            self.metrics.trace(env.now, "dispatch", unit, self.index)
-            yield env.timeout(timing.ex)
-            timing.completed_at = env.now
-            self._busy = False
-            busy_signal.update(0, env.now)
-            self.metrics.trace(env.now, "complete", unit, self.index)
-            self.metrics.record_unit_completion(unit)
-            unit.done.succeed(unit)
+            self._serving = unit
+            busy = self._busy_signal
+            # Inlined busy.update(1, now): the 0 -> 1 edge adds no area
+            # (the signal was 0), so only the bookkeeping fields move.
+            busy._last_time = now
+            busy._value = 1.0
+            if busy.max < 1.0:
+                busy.max = 1.0
+            timing.started_at = now
+            if metrics._tracer is not None:
+                metrics._tracer.record(now, "dispatch", unit, index)
+            env._sleep(timing.ex).callbacks.append(self._on_complete)
+            return
+
+    def _complete(self, _event) -> None:
+        """Service interval elapsed: record the outcome, serve the next."""
+        unit = self._serving
+        self._serving = None
+        metrics = self.metrics
+        index = self.index
+        now = self.env._now
+        timing = unit.timing
+        timing.completed_at = now
+        self._busy = False
+        busy = self._busy_signal
+        # Inlined busy.update(0, now): the 1 -> 0 edge accumulates one
+        # service interval of area (1.0 * dt == dt exactly).
+        busy._area += now - busy._last_time
+        busy._last_time = now
+        busy._value = 0.0
+        if busy.min > 0.0:
+            busy.min = 0.0
+        if metrics._tracer is not None:
+            metrics._tracer.record(now, "complete", unit, index)
+        metrics.record_unit_completion(unit)
+        done = unit._done
+        if done is not None:
+            done.succeed(unit)
+        self._dispatch_next()
 
     def __repr__(self) -> str:
         return (

@@ -24,6 +24,7 @@ Semantics:
 
 from __future__ import annotations
 
+from heapq import heappop
 from typing import Optional
 
 from ..sim.core import Environment, Event
@@ -53,71 +54,121 @@ class PreemptiveNode(Node):
         self._current: Optional[WorkUnit] = None
         self._preemptions = 0
         super().__init__(env, index, policy, metrics, overload_policy)
+        # Unlike the callback-machine base class, preemptive service needs
+        # an interruptible process: the server is a generator that sleeps
+        # on a reusable wakeup event while the queue is empty.
+        self._wakeup: Optional[Event] = None
+        self.process = env.process(self._server())
 
     @property
     def preemptions(self) -> int:
         """Number of preemption events at this node (for diagnostics)."""
         return self._preemptions
 
-    def submit(self, unit: WorkUnit) -> Event:
-        done = super().submit(unit)
+    def submit_nowait(self, unit: WorkUnit) -> None:
+        """Enqueue a unit; wake the sleeping server or preempt the one in
+        service.
+
+        The base class's deferred-dispatch wake-up belongs to its callback
+        state machine, which this process-based server does not use; and as
+        an ablation extension this node takes the readable enqueue path
+        (``queue.push`` + ``increment``) rather than the base class's
+        inlined one -- same arithmetic, no duplicated hot-path code.
+        """
+        if unit.node_index != self.index:
+            raise ValueError(
+                f"{unit!r} routed to node {self.index}, expected "
+                f"{unit.node_index}"
+            )
+        self.queue.push(unit)
+        now = self.env.now
+        self._queue_signal.increment(1, now)
+        metrics = self.metrics
+        if metrics._tracer is not None:
+            metrics._tracer.record(now, "submit", unit, self.index)
+        wakeup = self._wakeup
+        if wakeup is not None and not wakeup.triggered:
+            wakeup.succeed()
         current = self._current
         if current is not None and (
             self.queue.key_of(unit) < self.queue.key_of(current)
         ):
             self._preemptions += 1
             self.process.interrupt(cause="preempt")
-        return done
 
     def _server(self):
         env = self.env
-        busy_signal = self.metrics.node_busy[self.index]
-        queue_signal = self.metrics.node_queue[self.index]
+        index = self.index
+        metrics = self.metrics
+        queue = self.queue
+        heap = queue._heap  # the ready queue mutates this list in place
+        pop = heappop
+        push = queue.push
+        busy_update = metrics.node_busy[index].update
+        queue_sig = self._queue_signal.increment
+        dispatched = metrics.node_dispatched
+        record = metrics.record_unit_completion
+        sleep = env._sleep  # pooled timeouts; never retained after firing
+        remaining = self._remaining
+        abort_check = self._abort_check  # NoAbort fast path, bound by Node
+        wakeup = env.event()
         while True:
-            if not self.queue:
-                self._wakeup = env.event()
-                yield self._wakeup
+            if not heap:
+                self._wakeup = wakeup
+                yield wakeup
                 self._wakeup = None
-            unit = self.queue.pop()
-            queue_signal.increment(-1, env.now)
-            self.metrics.count_dispatch(self.index)
+                wakeup._reset()
+            unit = pop(heap)[3]
+            now = env._now
+            queue_sig(-1, now)
+            dispatched[index] += 1
             timing = unit.timing
 
-            if self.overload_policy.should_abort_at_dispatch(unit, env.now):
+            if abort_check is not None and abort_check(unit, now):
                 timing.aborted = True
-                self._remaining.pop(unit.id, None)
-                self.metrics.trace(env.now, "abort", unit, self.index)
-                self.metrics.record_unit_completion(unit)
-                unit.done.succeed(unit)
+                remaining.pop(unit.id, None)
+                if metrics._tracer is not None:
+                    metrics._tracer.record(now, "abort", unit, index)
+                record(unit)
+                done = unit._done
+                if done is not None:
+                    done.succeed(unit)
                 continue
 
-            demand = self._remaining.get(unit.id, timing.ex)
+            demand = remaining.get(unit.id, timing.ex)
             if timing.started_at is None:
-                timing.started_at = env.now
+                timing.started_at = now
             self._busy = True
             self._current = unit
-            busy_signal.update(1, env.now)
-            self.metrics.trace(env.now, "dispatch", unit, self.index)
-            service_began = env.now
+            busy_update(1, now)
+            if metrics._tracer is not None:
+                metrics._tracer.record(now, "dispatch", unit, index)
+            service_began = now
             try:
-                yield env.timeout(demand)
+                yield sleep(demand)
             except Interrupt:
-                consumed = env.now - service_began
-                self._remaining[unit.id] = demand - consumed
+                now = env._now
+                consumed = now - service_began
+                remaining[unit.id] = demand - consumed
                 self._busy = False
                 self._current = None
-                busy_signal.update(0, env.now)
-                self.metrics.trace(env.now, "preempt", unit, self.index)
+                busy_update(0, now)
+                if metrics._tracer is not None:
+                    metrics._tracer.record(now, "preempt", unit, index)
                 # Put the preempted unit back; the newcomer (already queued
                 # by submit) will win the next dispatch.
-                self.queue.push(unit)
-                queue_signal.increment(1, env.now)
+                push(unit)
+                queue_sig(1, now)
                 continue
-            timing.completed_at = env.now
-            self._remaining.pop(unit.id, None)
+            now = env._now
+            timing.completed_at = now
+            remaining.pop(unit.id, None)
             self._busy = False
             self._current = None
-            busy_signal.update(0, env.now)
-            self.metrics.trace(env.now, "complete", unit, self.index)
-            self.metrics.record_unit_completion(unit)
-            unit.done.succeed(unit)
+            busy_update(0, now)
+            if metrics._tracer is not None:
+                metrics._tracer.record(now, "complete", unit, index)
+            record(unit)
+            done = unit._done
+            if done is not None:
+                done.succeed(unit)

@@ -34,7 +34,7 @@ from typing import List, Optional, Sequence
 
 from ..core.strategies import DeadlineAssigner
 from ..core.task import ParallelTask, SerialTask, SimpleTask, TaskClass, TaskNode
-from ..core.timing import TimingRecord
+from ..core.timing import fast_timing
 from ..sim.core import Environment
 from ..sim.process import Process
 from .metrics import MetricsCollector
@@ -88,6 +88,8 @@ class ProcessManager:
         self.nodes = list(nodes)
         self.assigner = assigner
         self.metrics = metrics
+        # Bound once for the per-leaf hot path.
+        self._priority_class = assigner.psp.priority_class
         #: Number of global tasks submitted so far (for tracing/tests).
         self.submitted = 0
 
@@ -168,30 +170,32 @@ class ProcessManager:
         stage: int,
         natural_deadline: float,
     ):
-        if leaf.node_index is None:
+        node_index = leaf.node_index
+        if node_index is None:
             raise ValueError(
                 f"leaf {leaf.name!r} has no node assignment; the workload "
                 "factory must route every simple subtask"
             )
-        timing = TimingRecord(
-            ar=self.env.now,
+        env = self.env
+        timing = fast_timing(
+            ar=env.now,
             ex=leaf.ex,
             pex=leaf.pex,
             dl=deadline,
         )
         leaf.timing = timing
         unit = WorkUnit(
-            env=self.env,
+            env=env,
             name=leaf.name,
             task_class=TaskClass.GLOBAL,
-            node_index=leaf.node_index,
+            node_index=node_index,
             timing=timing,
-            priority_class=self.assigner.psp.priority_class,
+            priority_class=self._priority_class,
             global_id=global_id,
             stage=stage,
             natural_deadline=natural_deadline,
         )
-        done = self.nodes[leaf.node_index].submit(unit)
+        done = self.nodes[node_index].submit(unit)
         yield done
         if timing.aborted:
             raise _Aborted()
@@ -206,21 +210,36 @@ class ProcessManager:
         natural_deadline: float,
     ):
         children = node.children
+        env = self.env
+        serial_deadline = self.assigner.serial_deadline
+        # The pex envelope of every child, computed once; each stage's
+        # context takes the tail slice (current child first).
+        pexes = tuple(
+            child.pex if type(child) is SimpleTask else child.total_pex()
+            for child in children
+        )
         for i, child in enumerate(children):
-            assignment = self.assigner.serial_child_deadline(
-                remaining=children[i:],
-                now=self.env.now,
-                window_arrival=window_arrival,
-                window_deadline=window_deadline,
+            deadline = serial_deadline(
+                pexes[i:],
+                env.now,
+                window_arrival,
+                window_deadline,
             )
-            yield from self._execute(
-                child,
-                window_arrival=self.env.now,
-                window_deadline=assignment.deadline,
-                global_id=global_id,
-                stage=stage + i,
-                natural_deadline=natural_deadline,
-            )
+            if type(child) is SimpleTask:
+                # Direct leaf call: skips one generator frame per stage on
+                # the dominant serial-chain-of-leaves structure.
+                yield from self._execute_leaf(
+                    child, deadline, global_id, stage + i, natural_deadline
+                )
+            else:
+                yield from self._execute(
+                    child,
+                    window_arrival=env.now,
+                    window_deadline=deadline,
+                    global_id=global_id,
+                    stage=stage + i,
+                    natural_deadline=natural_deadline,
+                )
 
     def _execute_parallel(
         self,
@@ -232,17 +251,21 @@ class ProcessManager:
     ):
         children = node.children
         fork_time = self.env.now
+        fan_out = len(children)
+        parallel_deadline = self.assigner.parallel_deadline
+        process = self.env.process
         branches: List[Process] = []
         for i, child in enumerate(children):
-            assignment = self.assigner.parallel_child_deadline(
-                children=children,
+            deadline = parallel_deadline(
+                fan_out=fan_out,
                 index=i,
+                pex=child.pex if type(child) is SimpleTask else child.total_pex(),
                 now=fork_time,
                 window_deadline=window_deadline,
             )
             branches.append(
-                self.env.process(
-                    self._branch(child, fork_time, assignment.deadline,
+                process(
+                    self._branch(child, fork_time, deadline,
                                  global_id, stage + i, natural_deadline)
                 )
             )

@@ -25,15 +25,21 @@ sequence number breaks ties FIFO, keeping runs deterministic.
 
 from __future__ import annotations
 
-import heapq
 import itertools
+import operator
+from heapq import heappop, heappush
 from typing import Dict, List, Optional, Tuple
 
 from .work import WorkUnit
 
 
 class SchedulingPolicy:
-    """Strategy object producing heap keys for work units."""
+    """Strategy object producing heap keys for work units.
+
+    A policy may additionally define ``fast_key``, a callable equivalent
+    to :meth:`key` that the ready queue prefers on its push hot path
+    (e.g. a C-level ``attrgetter`` instead of a Python method).
+    """
 
     #: Registry / display name.
     name: str = "abstract"
@@ -50,6 +56,9 @@ class EarliestDeadlineFirst(SchedulingPolicy):
     """EDF: dispatch the queued unit with the smallest (virtual) deadline."""
 
     name = "EDF"
+
+    #: C-level key extraction for the push hot path.
+    fast_key = operator.attrgetter("timing.dl")
 
     def key(self, unit: WorkUnit) -> float:
         return unit.timing.dl
@@ -106,28 +115,28 @@ class ReadyQueue:
     shipped policies; see module docstring).
     """
 
-    __slots__ = ("_policy", "_heap", "_seq")
+    __slots__ = ("_policy", "_key", "_heap", "_seq")
 
     def __init__(self, policy: SchedulingPolicy) -> None:
         self._policy = policy
+        # Bound once: push runs once per unit; prefer a policy's C-level
+        # fast_key when it provides one.
+        self._key = getattr(policy, "fast_key", None) or policy.key
         self._heap: List[Tuple[int, float, int, WorkUnit]] = []
         self._seq = itertools.count()
 
     def push(self, unit: WorkUnit) -> None:
         """Enqueue a unit."""
-        entry = (
-            unit.priority_class,
-            self._policy.key(unit),
-            next(self._seq),
-            unit,
+        heappush(
+            self._heap,
+            (unit.priority_class, self._key(unit), next(self._seq), unit),
         )
-        heapq.heappush(self._heap, entry)
 
     def pop(self) -> WorkUnit:
         """Dequeue the highest-priority unit."""
         if not self._heap:
             raise IndexError("pop from empty ready queue")
-        return heapq.heappop(self._heap)[3]
+        return heappop(self._heap)[3]
 
     def peek(self) -> Optional[WorkUnit]:
         """The unit that would be dispatched next, or ``None``."""

@@ -29,12 +29,13 @@ class WorkUnit:
 
     __slots__ = (
         "id",
-        "name",
+        "env",
+        "_name",
         "task_class",
         "node_index",
         "timing",
         "priority_class",
-        "done",
+        "_done",
         "global_id",
         "stage",
         "natural_deadline",
@@ -43,7 +44,7 @@ class WorkUnit:
     def __init__(
         self,
         env: Environment,
-        name: str,
+        name: Optional[str],
         task_class: TaskClass,
         node_index: int,
         timing: TimingRecord,
@@ -52,20 +53,23 @@ class WorkUnit:
         stage: Optional[int] = None,
         natural_deadline: Optional[float] = None,
     ) -> None:
-        if not timing.has_deadline:
+        if timing.dl is None:
             raise ValueError(
                 f"work unit {name!r} submitted without a deadline; the SDA "
                 "strategy must assign one before submission"
             )
         self.id = next(_unit_counter)
-        self.name = name
+        self.env = env
+        self._name = name
         self.task_class = task_class
         self.node_index = node_index
         self.timing = timing
         self.priority_class = priority_class
-        #: Fires when the node finishes (or aborts) this unit.  The value is
-        #: the unit itself so joiners can inspect the outcome.
-        self.done: Event = env.event()
+        #: Lazily created completion event (see :attr:`done`).  Kept unset
+        #: until someone asks: fire-and-forget submitters (the local task
+        #: sources) never join on their units, and skipping the event saves
+        #: an allocation plus a dead heap entry per local completion.
+        self._done: Optional[Event] = None
         #: Id of the enclosing global task, if any (for tracing).
         self.global_id = global_id
         #: Stage index within the enclosing global task (for tracing).
@@ -78,6 +82,36 @@ class WorkUnit:
         self.natural_deadline = (
             natural_deadline if natural_deadline is not None else timing.dl
         )
+
+    @property
+    def name(self) -> str:
+        """Display name of the unit.
+
+        ``None`` at construction means "derive one lazily": mass-produced
+        local tasks never need their name unless a trace or repr asks, and
+        formatting one per unit is measurable at workload rates.
+        """
+        name = self._name
+        if name is None:
+            name = self._name = f"{self.task_class.value}-{self.id}"
+        return name
+
+    @property
+    def done(self) -> Event:
+        """Fires when the node finishes (or aborts) this unit.  The value is
+        the unit itself so joiners can inspect the outcome.
+
+        Created on first access; asking after the unit already finished
+        returns an event that fires (with the recorded outcome) at the
+        current simulation time.
+        """
+        done = self._done
+        if done is None:
+            done = self._done = Event(self.env)
+            timing = self.timing
+            if timing.completed_at is not None or timing.aborted:
+                done.succeed(self)
+        return done
 
     @property
     def is_global_subtask(self) -> bool:

@@ -31,8 +31,7 @@ The SDA strategies, in contrast, only ever see ``pex``.
 
 from __future__ import annotations
 
-import itertools
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 from ..core.estimators import Estimator, PerfectEstimator
 from ..core.task import (
@@ -50,11 +49,39 @@ from .node import Node
 from .process_manager import ProcessManager
 from .work import WorkUnit
 
-_local_counter = itertools.count(1)
+_LOCAL = TaskClass.LOCAL
 
 
 class LocalTaskSource:
-    """Poisson source of local tasks at one node."""
+    """Poisson source of local tasks at one node.
+
+    Implemented as a self-rescheduling timeout callback rather than a
+    generator process: one arrival costs one event-list entry and one
+    callback, with no coroutine suspend/resume machinery.  Random draws
+    happen in the same per-stream order as the process version, so fixed
+    seeds keep producing identical workloads.
+    """
+
+    __slots__ = (
+        "env",
+        "node",
+        "interarrival",
+        "execution",
+        "slack",
+        "estimator",
+        "_arrival_stream",
+        "_execution_stream",
+        "_slack_stream",
+        "_estimate_stream",
+        "generated",
+        "_next_interarrival",
+        "_next_execution",
+        "_next_slack",
+        "_predict",
+        "_submit",
+        "_node_index",
+        "_on_arrive",
+    )
 
     def __init__(
         self,
@@ -78,29 +105,41 @@ class LocalTaskSource:
         self._slack_stream = streams.get(f"local-slack/{tag}")
         self._estimate_stream = streams.get(f"local-estimate/{tag}")
         self.generated = 0
-        self.process = env.process(self._generate())
+        # Hot-path bindings (one arrival per callback for the whole run).
+        self._next_interarrival = interarrival.bind(self._arrival_stream)
+        self._next_execution = execution.bind(self._execution_stream)
+        self._next_slack = slack.bind(self._slack_stream)
+        self._predict = (
+            None if self.estimator.is_perfect else self.estimator.predict
+        )
+        self._submit = node.submit_nowait
+        self._node_index = node.index
+        self._on_arrive = self._arrive  # bound once; reused per arrival
+        env._sleep(self._next_interarrival()).callbacks.append(self._on_arrive)
 
-    def _generate(self):
+    def _arrive(self, _event) -> None:
+        """Generate one local task, then schedule the next arrival."""
         env = self.env
-        while True:
-            yield env.timeout(self.interarrival.sample(self._arrival_stream))
-            self.generated += 1
-            ex = self.execution.sample(self._execution_stream)
-            slack = self.slack.sample(self._slack_stream)
-            timing = TimingRecord(
-                ar=env.now,
-                ex=ex,
-                pex=self.estimator.predict(ex, self._estimate_stream),
-            )
-            timing.set_deadline_from_slack(slack)
-            unit = WorkUnit(
-                env=env,
-                name=f"local-{next(_local_counter)}",
-                task_class=TaskClass.LOCAL,
-                node_index=self.node.index,
-                timing=timing,
-            )
-            self.node.submit(unit)
+        self.generated += 1
+        ex = self._next_execution()
+        slack = self._next_slack()
+        predict = self._predict
+        ar = env._now
+        # Inlined timing-record construction (cf. core.timing.fast_timing):
+        # one record per local task for the whole run, and even the helper
+        # call frame is measurable at that rate.
+        timing = TimingRecord.__new__(TimingRecord)
+        timing.ar = ar
+        timing.ex = ex
+        timing.pex = ex if predict is None else predict(ex, self._estimate_stream)
+        timing.dl = ar + ex + slack
+        timing.completed_at = None
+        timing.started_at = None
+        timing.aborted = False
+        self._submit(
+            WorkUnit(env, None, _LOCAL, self._node_index, timing)
+        )
+        env._sleep(self._next_interarrival()).callbacks.append(self._on_arrive)
 
 
 class GlobalTaskFactory:
@@ -146,22 +185,29 @@ class SerialChainFactory(GlobalTaskFactory):
         self._slack_stream = streams.get("global-slack")
         self._route_stream = streams.get("global-route")
         self._estimate_stream = streams.get("global-estimate")
+        self._next_count = count.bind(self._count_stream)
+        self._next_execution = execution.bind(self._execution_stream)
+        self._next_slack = slack.bind(self._slack_stream)
+        self._predict = (
+            None if self.estimator.is_perfect else self.estimator.predict
+        )
 
     def build(self, now: float) -> Tuple[TaskNode, float]:
-        m = int(self.count.sample(self._count_stream))
+        m = int(self._next_count())
         if m < 1:
             raise ValueError(f"subtask count must be >= 1, got {m}")
         leaves = [self._make_leaf(i) for i in range(m)]
         tree: TaskNode = SerialTask(leaves) if m > 1 else leaves[0]
         total_ex = sum(leaf.ex for leaf in leaves)
-        deadline = now + total_ex + self.slack.sample(self._slack_stream)
+        deadline = now + total_ex + self._next_slack()
         return tree, deadline
 
     def _make_leaf(self, index: int) -> SimpleTask:
-        ex = self.execution.sample(self._execution_stream)
+        ex = self._next_execution()
+        predict = self._predict
         return SimpleTask(
             ex=ex,
-            pex=self.estimator.predict(ex, self._estimate_stream),
+            pex=ex if predict is None else predict(ex, self._estimate_stream),
             node_index=self._route_stream.randrange(self.node_count),
             name=f"stage-{index}",
         )
@@ -201,23 +247,32 @@ class ParallelFanFactory(GlobalTaskFactory):
         self._slack_stream = streams.get("global-slack")
         self._route_stream = streams.get("global-route")
         self._estimate_stream = streams.get("global-estimate")
+        self._next_execution = execution.bind(self._execution_stream)
+        self._next_slack = slack.bind(self._slack_stream)
+        self._predict = (
+            None if self.estimator.is_perfect else self.estimator.predict
+        )
 
     def build(self, now: float) -> Tuple[TaskNode, float]:
         nodes = self._route_stream.sample(range(self.node_count), self.fan_out)
+        predict = self._predict
         leaves = []
         for i, node_index in enumerate(nodes):
-            ex = self.execution.sample(self._execution_stream)
+            ex = self._next_execution()
             leaves.append(
                 SimpleTask(
                     ex=ex,
-                    pex=self.estimator.predict(ex, self._estimate_stream),
+                    pex=(
+                        ex if predict is None
+                        else predict(ex, self._estimate_stream)
+                    ),
                     node_index=node_index,
                     name=f"branch-{i}",
                 )
             )
         tree: TaskNode = ParallelTask(leaves) if self.fan_out > 1 else leaves[0]
         longest = max(leaf.ex for leaf in leaves)
-        deadline = now + longest + self.slack.sample(self._slack_stream)
+        deadline = now + longest + self._next_slack()
         return tree, deadline
 
 
@@ -259,8 +314,14 @@ class SerialParallelFactory(GlobalTaskFactory):
         self._slack_stream = streams.get("global-slack")
         self._route_stream = streams.get("global-route")
         self._estimate_stream = streams.get("global-estimate")
+        self._next_execution = execution.bind(self._execution_stream)
+        self._next_slack = slack.bind(self._slack_stream)
+        self._predict = (
+            None if self.estimator.is_perfect else self.estimator.predict
+        )
 
     def build(self, now: float) -> Tuple[TaskNode, float]:
+        predict = self._predict
         stage_nodes: List[TaskNode] = []
         for s in range(self.stages):
             leaves = []
@@ -268,11 +329,14 @@ class SerialParallelFactory(GlobalTaskFactory):
                 range(self.node_count), self.width
             )
             for b, node_index in enumerate(node_indices):
-                ex = self.execution.sample(self._execution_stream)
+                ex = self._next_execution()
                 leaves.append(
                     SimpleTask(
                         ex=ex,
-                        pex=self.estimator.predict(ex, self._estimate_stream),
+                        pex=(
+                            ex if predict is None
+                            else predict(ex, self._estimate_stream)
+                        ),
                         node_index=node_index,
                         name=f"stage-{s}-branch-{b}",
                     )
@@ -283,12 +347,30 @@ class SerialParallelFactory(GlobalTaskFactory):
         tree: TaskNode = (
             SerialTask(stage_nodes) if self.stages > 1 else stage_nodes[0]
         )
-        deadline = now + tree.total_ex() + self.slack.sample(self._slack_stream)
+        deadline = now + tree.total_ex() + self._next_slack()
         return tree, deadline
 
 
 class GlobalTaskSource:
-    """Single Poisson stream of global tasks feeding the process manager."""
+    """Single Poisson stream of global tasks feeding the process manager.
+
+    Like :class:`LocalTaskSource`, a self-rescheduling timeout callback:
+    the per-task coordination still runs as a process (it must join on
+    subtasks), but the arrival stream itself needs none.
+    """
+
+    __slots__ = (
+        "env",
+        "process_manager",
+        "interarrival",
+        "factory",
+        "_arrival_stream",
+        "generated",
+        "_next_interarrival",
+        "_build",
+        "_submit",
+        "_on_arrive",
+    )
 
     def __init__(
         self,
@@ -304,12 +386,16 @@ class GlobalTaskSource:
         self.factory = factory
         self._arrival_stream = streams.get("global-arrival")
         self.generated = 0
-        self.process = env.process(self._generate())
+        self._next_interarrival = interarrival.bind(self._arrival_stream)
+        self._build = factory.build
+        self._submit = process_manager.submit
+        self._on_arrive = self._arrive  # bound once; reused per arrival
+        env._sleep(self._next_interarrival()).callbacks.append(self._on_arrive)
 
-    def _generate(self):
+    def _arrive(self, _event) -> None:
+        """Launch one global task, then schedule the next arrival."""
         env = self.env
-        while True:
-            yield env.timeout(self.interarrival.sample(self._arrival_stream))
-            self.generated += 1
-            tree, deadline = self.factory.build(env.now)
-            self.process_manager.submit(tree, deadline)
+        self.generated += 1
+        tree, deadline = self._build(env._now)
+        self._submit(tree, deadline)
+        env._sleep(self._next_interarrival()).callbacks.append(self._on_arrive)

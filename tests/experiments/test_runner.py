@@ -108,6 +108,49 @@ class TestReplicate:
         assert parallel.md_global.mean == serial.md_global.mean
         assert parallel.local_completed == serial.local_completed
 
+    def test_workers_with_injected_runner_warns_and_runs_serially(self):
+        """An injected runner cannot cross process boundaries; asking for
+        workers anyway must be loud (a RuntimeWarning), not silent."""
+        calls = []
+
+        def runner(config):
+            calls.append(config.seed)
+            return fake_result()
+
+        with pytest.warns(RuntimeWarning, match="picklable"):
+            estimate = replicate(
+                baseline_config(seed=3), replications=3, runner=runner,
+                workers=4,
+            )
+        assert len(calls) == 3
+        assert estimate.md_local.n == 3
+
+    def test_forked_pool_path_matches_serial(self, monkeypatch):
+        """Force the process-pool branch (pool size is capped at the host's
+        cpu_count, so a 1-CPU box would otherwise run serially) and check
+        the forked results -- including config/result pickling -- match."""
+        import repro.experiments.runner as runner_mod
+
+        monkeypatch.setattr(
+            runner_mod.multiprocessing, "cpu_count", lambda: 2
+        )
+        config = baseline_config(sim_time=400.0, warmup_time=40.0, seed=5)
+        serial = replicate(config, replications=2, workers=1)
+        pooled = replicate(config, replications=2, workers=2)
+        assert pooled.md_local.mean == serial.md_local.mean
+        assert pooled.md_global.mean == serial.md_global.mean
+        assert pooled.local_completed == serial.local_completed
+
+    def test_workers_zero_means_all_cores(self):
+        from repro.experiments.runner import resolve_workers
+        import multiprocessing
+
+        assert resolve_workers(0) == multiprocessing.cpu_count()
+        assert resolve_workers(1) == 1
+        assert resolve_workers(7) == 7
+        with pytest.raises(ValueError):
+            resolve_workers(-1)
+
 
 class TestSweep:
     def test_grid_shape(self):
@@ -182,3 +225,22 @@ class TestSweep:
             runner=lambda c: (seeds.append(c.seed), fake_result())[1],
         )
         assert len(seeds) == len(set(seeds)) == 12
+
+    def test_grid_parallel_sweep_matches_serial(self):
+        """sweep(workers>1) flattens the whole grid into one pool and must
+        reproduce the single-worker sweep bit-for-bit."""
+        scale = RunScale(sim_time=500.0, warmup_time=50.0, replications=2)
+        kwargs = dict(
+            base=baseline_config(),
+            parameter="load",
+            values=[0.2, 0.4],
+            strategies=["UD", "EQF"],
+            scale=scale,
+        )
+        serial = sweep(**kwargs)
+        parallel = sweep(**kwargs, workers=4)
+        for s, p in zip(serial.points, parallel.points):
+            assert (s.x, s.strategy) == (p.x, p.strategy)
+            assert s.estimate.md_local.mean == p.estimate.md_local.mean
+            assert s.estimate.md_global.mean == p.estimate.md_global.mean
+            assert s.estimate.local_completed == p.estimate.local_completed

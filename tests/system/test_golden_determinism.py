@@ -1,0 +1,118 @@
+"""Golden determinism tests: exact fixed-seed results, pinned forever.
+
+The kernel is aggressively optimized (inlined event loop, pooled timeouts,
+callback-driven nodes and sources, bound samplers).  Every optimization
+must preserve *bit-identical* results for a fixed seed -- same event
+ordering, same random draws, same float arithmetic.  These tests pin the
+exact SMOKE-scale metrics produced by the original (pre-optimization)
+kernel; they pass on that seed kernel and must keep passing on every
+future one.  If an optimization perturbs event ordering or arithmetic,
+this file fails loudly and the change needs a deliberate re-pin (with a
+changelog note), not a silent drift.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.system.config import baseline_config
+from repro.system.simulation import simulate
+
+#: SMOKE-scale run lengths (kept in sync with repro.experiments.runner.SMOKE,
+#: but pinned literally here: changing the preset must not silently change
+#: what this test checks).
+SIM_TIME = 2_500.0
+WARMUP = 250.0
+
+
+@pytest.fixture(scope="module")
+def serial_result():
+    return simulate(
+        baseline_config(sim_time=SIM_TIME, warmup_time=WARMUP, seed=42)
+    )
+
+
+class TestSerialBaselineGolden:
+    """Exact values from baseline_config(seed=42) at SMOKE scale."""
+
+    def test_local_counts(self, serial_result):
+        local = serial_result.local
+        assert local.completed == 5136
+        assert local.missed == 1204
+        assert local.aborted == 0
+
+    def test_global_counts(self, serial_result):
+        global_ = serial_result.global_
+        assert global_.completed == 402
+        assert global_.missed == 163
+        assert global_.aborted == 0
+
+    def test_local_means_exact(self, serial_result):
+        local = serial_result.local
+        # Bit-exact: == on floats is intentional.
+        assert local.mean_response == 1.783879225470131
+        assert local.mean_lateness == -0.581420252394006
+        assert local.mean_waiting == 0.7793337698086901
+
+    def test_global_means_exact(self, serial_result):
+        global_ = serial_result.global_
+        assert global_.mean_response == 8.579486447843847
+        assert global_.mean_lateness == -0.9237181639001631
+
+    def test_per_node_dispatch_counts(self, serial_result):
+        assert [n.dispatched for n in serial_result.per_node] == [
+            1155, 1142, 1112, 1144, 1127, 1065,
+        ]
+
+    def test_node0_signals_exact(self, serial_result):
+        node0 = serial_result.per_node[0]
+        assert node0.utilization == 0.5153333521237488
+        assert node0.mean_queue_length == 0.4392931486126085
+
+
+class TestParallelStructureGolden:
+    """Exact values for a parallel-fan config (exercises fork/join + PSP)."""
+
+    def test_parallel_div2(self):
+        result = simulate(
+            baseline_config(
+                sim_time=SIM_TIME,
+                warmup_time=WARMUP,
+                seed=7,
+                task_structure="parallel",
+                strategy="DIV-2",
+            )
+        )
+        assert result.local.completed == 5096
+        assert result.local.missed == 1476
+        assert result.global_.completed == 449
+        assert result.global_.missed == 69
+        assert result.local.mean_response == 2.02008830512072
+        assert result.global_.mean_response == 3.4160475119459655
+
+
+class TestTracingIsObservationOnly:
+    """Tracing must never perturb the simulation it observes.
+
+    The tracing-off fast path (null tracer, ``tracer is None`` checks in
+    the node hot loops) must produce exactly the metrics a traced run
+    produces -- tracing is pure observation.
+    """
+
+    def test_trace_on_equals_trace_off(self, serial_result):
+        traced = simulate(
+            baseline_config(
+                sim_time=SIM_TIME, warmup_time=WARMUP, seed=42, trace=True
+            )
+        )
+        assert traced == serial_result
+
+    def test_trace_on_equals_trace_off_parallel(self):
+        config = baseline_config(
+            sim_time=SIM_TIME,
+            warmup_time=WARMUP,
+            seed=7,
+            task_structure="parallel",
+            strategy="DIV-2",
+        )
+        assert simulate(config.with_(trace=True)) == simulate(config)

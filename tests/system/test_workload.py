@@ -243,13 +243,14 @@ class TestLocalTaskSource:
         metrics = MetricsCollector(node_count=1)
         node = Node(env=env, index=0, policy=EarliestDeadlineFirst(), metrics=metrics)
         captured = []
-        original_submit = node.submit
+        original_submit = node.submit_nowait
 
         def capturing_submit(unit):
             captured.append(unit)
             return original_submit(unit)
 
-        node.submit = capturing_submit
+        # The source submits through the no-completion-event fast path.
+        node.submit_nowait = capturing_submit
         LocalTaskSource(
             env=env,
             node=node,
