@@ -16,6 +16,10 @@ RESULTS_DIR = Path(__file__).parent / "results"
 #: PRs can diff the perf trajectory (see PERFORMANCE.md).
 BENCH_KERNEL_JSON = Path(__file__).parent.parent / "BENCH_kernel.json"
 
+#: Machine-readable record of the global-task coordination benchmarks
+#: (``bench_manager.py``); same contract as ``BENCH_kernel.json``.
+BENCH_MANAGER_JSON = Path(__file__).parent.parent / "BENCH_manager.json"
+
 
 def save_artifact(name: str, text: str) -> Path:
     """Write a rendered table/chart to ``benchmarks/results/<name>.txt``."""
@@ -25,36 +29,47 @@ def save_artifact(name: str, text: str) -> Path:
     return path
 
 
-def record_kernel_bench(name: str, benchmark) -> Path | None:
-    """Record one microbenchmark's stats into ``BENCH_kernel.json``.
+def record_bench(json_path: Path, name: str, benchmark) -> Path | None:
+    """Record one microbenchmark's stats into a repo-root JSON file.
 
-    Called by ``bench_kernel.py`` after each ``benchmark(...)`` run; merges
-    ``{name: {ops_per_second, mean_seconds, ...}}`` into the JSON file so
-    that the kernel's performance trajectory is machine-readable across
-    PRs.  A no-op when the benchmark fixture collected no stats (e.g.
-    ``--benchmark-disable``).
+    Called after each ``benchmark(...)`` run; merges
+    ``{name: {ops_per_second, mean_seconds, ...}}`` under the file's
+    ``microbenchmarks`` key so that the performance trajectory is
+    machine-readable across PRs.  A no-op when the benchmark fixture
+    collected no stats (e.g. ``--benchmark-disable``).
     """
     try:
         stats = benchmark.stats.stats
         entry = {
             "ops_per_second": stats.ops,
             "mean_seconds": stats.mean,
+            "median_seconds": stats.median,
             "min_seconds": stats.min,
             "rounds": stats.rounds,
         }
     except (AttributeError, TypeError):
         return None
     data: dict = {}
-    if BENCH_KERNEL_JSON.exists():
+    if json_path.exists():
         try:
-            data = json.loads(BENCH_KERNEL_JSON.read_text())
+            data = json.loads(json_path.read_text())
         except ValueError:
             data = {}
     data.setdefault("microbenchmarks", {})[name] = entry
-    BENCH_KERNEL_JSON.write_text(
+    json_path.write_text(
         json.dumps(data, indent=2, sort_keys=True) + "\n"
     )
-    return BENCH_KERNEL_JSON
+    return json_path
+
+
+def record_kernel_bench(name: str, benchmark) -> Path | None:
+    """Record one kernel microbenchmark into ``BENCH_kernel.json``."""
+    return record_bench(BENCH_KERNEL_JSON, name, benchmark)
+
+
+def record_manager_bench(name: str, benchmark) -> Path | None:
+    """Record one coordinator microbenchmark into ``BENCH_manager.json``."""
+    return record_bench(BENCH_MANAGER_JSON, name, benchmark)
 
 
 def series_end(figure, strategy: str, metric: str = "global") -> float:

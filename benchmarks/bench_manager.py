@@ -1,0 +1,105 @@
+"""Microbenchmarks of the global-task coordination path.
+
+Not a paper artifact: these track the cost of the process manager walking
+serial-parallel trees (deadline assignment, leaf submission, precedence
+enforcement, fork/join).  The workloads are deliberately global-heavy
+(``frac_local`` far below the Table 1 baseline) so that coordination --
+not local-task service -- dominates the run, making regressions in the
+coordinator visible instead of being averaged away.
+
+Results are merged into ``BENCH_manager.json`` at the repo root (see
+``benchmarks/_util.record_manager_bench``); PERFORMANCE.md quotes the
+before/after medians of the callback-coordinator rewrite.
+"""
+
+from __future__ import annotations
+
+from repro.system.config import (
+    baseline_config,
+    parallel_baseline_config,
+    serial_parallel_config,
+)
+from repro.system.simulation import simulate
+
+from _util import record_manager_bench
+
+#: Shared run length: long enough for thousands of global subtasks per
+#: round, short enough for many benchmark rounds.
+_RUN = dict(sim_time=1_500.0, warmup_time=150.0)
+
+
+def test_deep_serial_chains(benchmark):
+    """Serial chains of 8 stages: the per-stage continuation hot path."""
+
+    def run():
+        result = simulate(
+            baseline_config(
+                subtask_count=8, frac_local=0.2, load=0.5, seed=5, **_RUN
+            )
+        )
+        return result.global_.completed
+
+    completed = benchmark(run)
+    record_manager_bench("deep_serial_chains", benchmark)
+    assert completed > 100
+
+
+def test_wide_parallel_trees(benchmark):
+    """Parallel fans across all six nodes: the fork/join hot path."""
+
+    def run():
+        result = simulate(
+            parallel_baseline_config(
+                subtask_count=6, frac_local=0.2, load=0.5, seed=6, **_RUN
+            )
+        )
+        return result.global_.completed
+
+    completed = benchmark(run)
+    record_manager_bench("wide_parallel_trees", benchmark)
+    assert completed > 100
+
+
+def test_serial_parallel_trees(benchmark):
+    """Serial-of-parallel trees (4x2): nested frames, both SSP and PSP."""
+
+    def run():
+        result = simulate(
+            serial_parallel_config(
+                stages=4,
+                stage_width=2,
+                strategy="EQF-DIV1",
+                frac_local=0.2,
+                load=0.5,
+                seed=7,
+                **_RUN,
+            )
+        )
+        return result.global_.completed
+
+    completed = benchmark(run)
+    record_manager_bench("serial_parallel_trees", benchmark)
+    assert completed > 100
+
+
+def test_abort_heavy_coordination(benchmark):
+    """Firm overload with tight slack: the abort-propagation path."""
+
+    def run():
+        result = simulate(
+            baseline_config(
+                subtask_count=8,
+                frac_local=0.2,
+                load=0.9,
+                rel_flex=0.25,
+                overload_policy="abort-virtual",
+                seed=8,
+                **_RUN,
+            )
+        )
+        stats = result.global_
+        return stats.completed + stats.aborted
+
+    finished = benchmark(run)
+    record_manager_bench("abort_heavy_coordination", benchmark)
+    assert finished > 100

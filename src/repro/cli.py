@@ -6,6 +6,7 @@ Usage::
     repro-experiments table1
     repro-experiments run Fig2 --scale quick
     repro-experiments run Fig2 --scale full --workers 0   # all CPU cores
+    repro-experiments run Fig2 --workers 4 --batch-size 5 # 5 runs/dispatch
     repro-experiments run V6 --scale smoke
     repro-experiments simulate --strategy EQF --load 0.5 --structure serial
 
@@ -21,7 +22,7 @@ from typing import Optional, Sequence
 
 from .experiments.figures import FigureResult
 from .experiments.registry import EXPERIMENTS, get_experiment
-from .experiments.runner import SCALES, resolve_workers
+from .experiments.runner import SCALES, resolve_batch_size, resolve_workers
 from .experiments.variations import VariationResult
 from .stats.tables import format_percent, render_table
 from .system.config import (
@@ -73,6 +74,16 @@ def _build_parser() -> argparse.ArgumentParser:
         help=(
             "process-pool workers for the experiment's simulation grid "
             "(default: 1 = serial, 0 = all CPU cores)"
+        ),
+    )
+    run.add_argument(
+        "--batch-size",
+        type=int,
+        default=0,
+        help=(
+            "grid runs executed back to back in one warm worker process "
+            "per pool dispatch (default: 0 = auto, about four batches per "
+            "worker; 1 = one run per dispatch)"
         ),
     )
 
@@ -130,12 +141,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
     scale = SCALES[args.scale]
     try:
         workers = resolve_workers(args.workers)
+        # Validation only (runs/workers placeholders): reject a negative
+        # --batch-size up front with the canonical error message.
+        resolve_batch_size(args.batch_size, runs=1, workers=1)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     print(f"running {entry.experiment_id} ({entry.paper_artifact}) at "
-          f"scale={scale.label} workers={workers} ...", file=sys.stderr)
-    result = entry.run(scale, workers=workers)
+          f"scale={scale.label} workers={workers} "
+          f"batch-size={args.batch_size or 'auto'} ...", file=sys.stderr)
+    result = entry.run(scale, workers=workers, batch_size=args.batch_size)
     if isinstance(result, FigureResult):
         print(result.render())
     elif isinstance(result, VariationResult):

@@ -96,7 +96,8 @@ class FigureResult:
 
 
 def fig2(
-    scale: RunScale = QUICK, seed: int = 1, workers: int = 1
+    scale: RunScale = QUICK, seed: int = 1, workers: int = 1,
+    batch_size: int = 0,
 ) -> FigureResult:
     """Fig. 2: SSP strategies on serial tasks as load varies.
 
@@ -112,6 +113,7 @@ def fig2(
         strategies=FIG2_STRATEGIES,
         scale=scale,
         workers=workers,
+        batch_size=batch_size,
     )
     return FigureResult(
         figure_id="Fig2",
@@ -122,7 +124,8 @@ def fig2(
 
 
 def fig3(
-    scale: RunScale = QUICK, seed: int = 2, workers: int = 1
+    scale: RunScale = QUICK, seed: int = 2, workers: int = 1,
+    batch_size: int = 0,
 ) -> FigureResult:
     """Fig. 3: effect of the local-task fraction under UD and EQF.
 
@@ -138,6 +141,7 @@ def fig3(
         strategies=FIG3_STRATEGIES,
         scale=scale,
         workers=workers,
+        batch_size=batch_size,
     )
     return FigureResult(
         figure_id="Fig3",
@@ -152,6 +156,7 @@ def fig4(
     seed: int = 3,
     include_gf: bool = True,
     workers: int = 1,
+    batch_size: int = 0,
 ) -> FigureResult:
     """Fig. 4: PSP strategies on parallel tasks as load varies.
 
@@ -168,6 +173,7 @@ def fig4(
         strategies=strategies,
         scale=scale,
         workers=workers,
+        batch_size=batch_size,
     )
     return FigureResult(
         figure_id="Fig4",
@@ -178,7 +184,8 @@ def fig4(
 
 
 def ssp_psp(
-    scale: RunScale = QUICK, seed: int = 4, workers: int = 1
+    scale: RunScale = QUICK, seed: int = 4, workers: int = 1,
+    batch_size: int = 0,
 ) -> FigureResult:
     """Sec. 6: the four SSP x PSP combinations on serial-parallel tasks.
 
@@ -194,6 +201,7 @@ def ssp_psp(
         strategies=SSP_PSP_STRATEGIES,
         scale=scale,
         workers=workers,
+        batch_size=batch_size,
     )
     return FigureResult(
         figure_id="Sec6",

@@ -19,8 +19,10 @@ from .variations import VARIATIONS
 class ExperimentDefinition:
     """One reproducible artifact of the paper.
 
-    ``run`` accepts ``(scale, workers)``; ``workers`` fans the experiment's
-    whole simulation grid out over a process pool (``0`` = all cores).
+    ``run`` accepts ``(scale, workers, batch_size)``; ``workers`` fans the
+    experiment's whole simulation grid out over a process pool (``0`` =
+    all cores) and ``batch_size`` groups the grid into warm-interpreter
+    batches (``0`` = auto).
     """
 
     experiment_id: str
@@ -34,7 +36,9 @@ def _figure_entry(experiment_id, artifact, description, fn) -> ExperimentDefinit
         experiment_id=experiment_id,
         paper_artifact=artifact,
         description=description,
-        run=lambda scale=QUICK, workers=1: fn(scale=scale, workers=workers),
+        run=lambda scale=QUICK, workers=1, batch_size=0: fn(
+            scale=scale, workers=workers, batch_size=batch_size
+        ),
     )
 
 
@@ -43,7 +47,9 @@ def _variation_entry(experiment_id, description, fn) -> ExperimentDefinition:
         experiment_id=experiment_id,
         paper_artifact="Sec. 4.3 narrative",
         description=description,
-        run=lambda scale=QUICK, workers=1: fn(scale=scale, workers=workers),
+        run=lambda scale=QUICK, workers=1, batch_size=0: fn(
+            scale=scale, workers=workers, batch_size=batch_size
+        ),
     )
 
 

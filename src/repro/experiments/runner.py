@@ -36,6 +36,19 @@ def run_config(config: SystemConfig) -> RunResult:
     return Simulation(config).run()
 
 
+def run_config_batch(configs: Sequence[SystemConfig]) -> List[RunResult]:
+    """Run a batch of simulations back to back in one worker process.
+
+    The in-process batch executor behind ``run_grid(batch_size=...)``:
+    one pool task carries a whole slice of the grid, so the worker's warm
+    interpreter is amortized over the slice and the pool exchanges one
+    pickled config list and one result vector per batch instead of one
+    round trip per run.  Module-level so it pickles for multiprocessing
+    workers; runs strictly in order, which keeps grid results positional.
+    """
+    return [Simulation(config).run() for config in configs]
+
+
 def resolve_workers(workers: int) -> int:
     """Normalize a ``workers`` argument: ``0`` means "all CPU cores"."""
     if workers == 0:
@@ -43,6 +56,22 @@ def resolve_workers(workers: int) -> int:
     if workers < 0:
         raise ValueError(f"workers must be >= 0, got {workers}")
     return workers
+
+
+def resolve_batch_size(batch_size: int, runs: int, workers: int) -> int:
+    """Normalize a ``batch_size`` argument for a pool of ``workers``.
+
+    ``0`` (the default everywhere) means "auto": slice the ``runs`` into
+    about four batches per worker -- large enough to amortize dispatch
+    and IPC, small enough that heterogeneous cell costs still balance
+    across the pool.  Any positive value is used as-is (``1`` recovers
+    one-run-per-dispatch).
+    """
+    if batch_size == 0:
+        return max(1, -(-runs // (workers * 4)))
+    if batch_size < 0:
+        raise ValueError(f"batch_size must be >= 0, got {batch_size}")
+    return batch_size
 
 
 @dataclass(frozen=True)
@@ -146,16 +175,21 @@ def run_grid(
     workers: int = 1,
     runner: Optional[Callable[[SystemConfig], RunResult]] = None,
     level: float = 0.95,
+    batch_size: int = 0,
 ) -> List[PointEstimate]:
     """Run every grid cell in ``configs``, each ``replications`` times.
 
     This is the shared engine behind :func:`replicate`, :func:`sweep`, and
     the variation grids.  With ``workers > 1`` the *entire*
-    (cell x replication) grid is flattened into one process pool, so a
-    6-strategy x 7-point figure saturates every core instead of
-    parallelizing only within a cell.  Results are deterministic regardless
-    of ``workers``: every run's seed is fixed up front and ``pool.map``
-    preserves order.
+    (cell x replication) grid is flattened into one process pool and
+    sliced into per-worker batches of ``batch_size`` runs (``0`` = auto,
+    about four batches per worker; see :func:`resolve_batch_size`): each
+    batch executes back to back in one warm worker interpreter
+    (:func:`run_config_batch`), so the pool pays one dispatch and one
+    result vector per batch instead of one IPC round trip per run.
+    Results are deterministic regardless of ``workers`` or ``batch_size``:
+    every run's seed is fixed up front, ``pool.map`` preserves batch
+    order, and batches are contiguous slices of the flattened grid.
 
     An injected ``runner`` cannot cross process boundaries (closures
     generally do not pickle), so ``workers > 1`` with a runner emits a
@@ -178,8 +212,14 @@ def run_grid(
     # CPU-bound pool only adds fork/IPC overhead.
     processes = min(workers, len(flat), multiprocessing.cpu_count())
     if processes > 1 and runner is None:
+        size = resolve_batch_size(batch_size, len(flat), processes)
+        batches = [flat[i:i + size] for i in range(0, len(flat), size)]
         with multiprocessing.Pool(processes) as pool:
-            flat_results = pool.map(run_config, flat)
+            flat_results = [
+                result
+                for batch in pool.map(run_config_batch, batches)
+                for result in batch
+            ]
     else:
         run = runner or run_config
         flat_results = [run(config) for config in flat]
@@ -199,6 +239,7 @@ def replicate(
     level: float = 0.95,
     runner: Optional[Callable[[SystemConfig], RunResult]] = None,
     workers: int = 1,
+    batch_size: int = 0,
 ) -> PointEstimate:
     """Estimate one data point from ``replications`` independent runs.
 
@@ -217,7 +258,8 @@ def replicate(
     closures generally do not pickle.
     """
     return run_grid(
-        [config], replications, workers=workers, runner=runner, level=level
+        [config], replications, workers=workers, runner=runner, level=level,
+        batch_size=batch_size,
     )[0]
 
 
@@ -276,6 +318,7 @@ def sweep(
     scale: RunScale = QUICK,
     runner: Optional[Callable[[SystemConfig], RunResult]] = None,
     workers: int = 1,
+    batch_size: int = 0,
 ) -> SweepResult:
     """Run a grid of (parameter value x strategy) data points.
 
@@ -283,7 +326,8 @@ def sweep(
     or ``frac_local``).  Each grid cell gets a distinct base seed so the
     cells are statistically independent.  ``workers`` (``0`` = all cores)
     parallelizes the *whole* (value x strategy x replication) grid in one
-    process pool (see :func:`run_grid`); results are identical to a
+    process pool, sliced into warm-interpreter batches of ``batch_size``
+    runs (``0`` = auto; see :func:`run_grid`); results are identical to a
     single-worker run.
     """
     cells: List[Tuple[float, str]] = []
@@ -301,7 +345,8 @@ def sweep(
                 )
             )
     estimates = run_grid(
-        configs, scale.replications, workers=workers, runner=runner
+        configs, scale.replications, workers=workers, runner=runner,
+        batch_size=batch_size,
     )
     return SweepResult(
         parameter=parameter,

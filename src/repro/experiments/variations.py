@@ -74,13 +74,15 @@ def _run_grid(
     scale: RunScale,
     base: Optional[SystemConfig] = None,
     workers: int = 1,
+    batch_size: int = 0,
 ) -> VariationResult:
     """Run a (setting x strategy) grid.
 
     ``settings`` is a list of ``(label, config_transform)`` pairs where the
     transform maps a base config to the varied config.  ``workers``
-    (``0`` = all cores) fans the whole grid out over one process pool (see
-    :func:`repro.experiments.runner.run_grid`).
+    (``0`` = all cores) fans the whole grid out over one process pool,
+    sliced into warm-interpreter batches of ``batch_size`` runs (``0`` =
+    auto; see :func:`repro.experiments.runner.run_grid`).
     """
     base = base or baseline_config()
     cells: List[tuple] = []
@@ -95,7 +97,9 @@ def _run_grid(
                     )
                 )
             )
-    estimates = run_grid(configs, scale.replications, workers=workers)
+    estimates = run_grid(
+        configs, scale.replications, workers=workers, batch_size=batch_size
+    )
     rows = [
         VariationRow(setting=label, strategy=strategy, estimate=estimate)
         for (label, strategy), estimate in zip(cells, estimates)
@@ -108,6 +112,7 @@ def pex_error_sweep(
     strategies: Sequence[str] = ("UD", "EQF"),
     scale: RunScale = QUICK,
     workers: int = 1,
+    batch_size: int = 0,
 ) -> VariationResult:
     """V1: random error in execution-time predictions.
 
@@ -119,7 +124,7 @@ def pex_error_sweep(
     ]
     return _run_grid(
         "V1", "random error in execution time estimates",
-        settings, strategies, scale, workers=workers,
+        settings, strategies, scale, workers=workers, batch_size=batch_size,
     )
 
 
@@ -127,6 +132,7 @@ def abort_policy_comparison(
     strategies: Sequence[str] = ("UD", "EQF"),
     scale: RunScale = QUICK,
     workers: int = 1,
+    batch_size: int = 0,
 ) -> VariationResult:
     """V2: firm overload management (tardy tasks aborted at dispatch).
 
@@ -144,7 +150,7 @@ def abort_policy_comparison(
     ]
     return _run_grid(
         "V2", "overload policy: no-abort vs abort-tardy vs abort-virtual",
-        settings, strategies, scale, workers=workers,
+        settings, strategies, scale, workers=workers, batch_size=batch_size,
     )
 
 
@@ -152,6 +158,7 @@ def scheduler_comparison(
     strategies: Sequence[str] = ("UD", "EQF"),
     scale: RunScale = QUICK,
     workers: int = 1,
+    batch_size: int = 0,
 ) -> VariationResult:
     """V3: minimum-laxity-first (and FCFS control) local schedulers."""
     settings = [
@@ -161,7 +168,7 @@ def scheduler_comparison(
     ]
     return _run_grid(
         "V3", "local scheduling algorithm",
-        settings, strategies, scale, workers=workers,
+        settings, strategies, scale, workers=workers, batch_size=batch_size,
     )
 
 
@@ -169,6 +176,7 @@ def variable_subtasks(
     strategies: Sequence[str] = ("UD", "EQF"),
     scale: RunScale = QUICK,
     workers: int = 1,
+    batch_size: int = 0,
 ) -> VariationResult:
     """V4: global tasks with a random number of subtasks (U{2..6})."""
     settings = [
@@ -177,7 +185,7 @@ def variable_subtasks(
     ]
     return _run_grid(
         "V4", "variable number of subtasks per global task",
-        settings, strategies, scale, workers=workers,
+        settings, strategies, scale, workers=workers, batch_size=batch_size,
     )
 
 
@@ -185,6 +193,7 @@ def heterogeneous_nodes(
     strategies: Sequence[str] = ("UD", "EQF"),
     scale: RunScale = QUICK,
     workers: int = 1,
+    batch_size: int = 0,
 ) -> VariationResult:
     """V5: some nodes carry higher local loads than others.
 
@@ -198,7 +207,7 @@ def heterogeneous_nodes(
     ]
     return _run_grid(
         "V5", "heterogeneous per-node local loads",
-        settings, strategies, scale, workers=workers,
+        settings, strategies, scale, workers=workers, batch_size=batch_size,
     )
 
 
@@ -207,6 +216,7 @@ def slack_sweep(
     strategies: Sequence[str] = ("UD", "EQF"),
     scale: RunScale = QUICK,
     workers: int = 1,
+    batch_size: int = 0,
 ) -> VariationResult:
     """V6: EQF's advantage across slack tightness (``rel_flex`` sweep).
 
@@ -220,7 +230,7 @@ def slack_sweep(
     ]
     return _run_grid(
         "V6", "EQF gain across slack tightness",
-        settings, strategies, scale, workers=workers,
+        settings, strategies, scale, workers=workers, batch_size=batch_size,
     )
 
 

@@ -183,10 +183,15 @@ class MetricsCollector:
         self,
         timing_missed: bool,
         aborted: bool,
-        response_time: float,
-        lateness: float,
+        response_time: Optional[float] = None,
+        lateness: Optional[float] = None,
     ) -> None:
-        """Record the end-to-end outcome of one global task."""
+        """Record the end-to-end outcome of one global task.
+
+        An aborted task never completed, so it has no response time or
+        lateness; callers pass ``None`` (the default) and only the
+        aborted/missed counters move.
+        """
         acc = self._global_acc
         if aborted:
             acc.aborted += 1

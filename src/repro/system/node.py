@@ -32,7 +32,7 @@ from __future__ import annotations
 from heapq import heappop, heappush
 from typing import Optional
 
-from ..sim.core import Environment, Event
+from ..sim.core import NORMAL, Environment, Event
 from .metrics import MetricsCollector
 from .overload import NoAbort, OverloadPolicy
 from .schedulers import ReadyQueue, SchedulingPolicy
@@ -190,6 +190,11 @@ class Node:
                 done = unit._done
                 if done is not None:
                     done.succeed(unit)
+                on_done = unit.on_done
+                if on_done is not None:
+                    env._schedule_call(
+                        on_done, value=unit, priority=NORMAL
+                    )
                 continue
 
             self._busy = True
@@ -213,7 +218,8 @@ class Node:
         self._serving = None
         metrics = self.metrics
         index = self.index
-        now = self.env._now
+        env = self.env
+        now = env._now
         timing = unit.timing
         timing.completed_at = now
         self._busy = False
@@ -231,6 +237,12 @@ class Node:
         done = unit._done
         if done is not None:
             done.succeed(unit)
+        on_done = unit.on_done
+        if on_done is not None:
+            # Deferred like a `done` event (same NORMAL priority, same seq
+            # slot) so the continuation cannot reorder the node's own
+            # next dispatch or any other same-instant event.
+            env._schedule_call(on_done, value=unit, priority=NORMAL)
         self._dispatch_next()
 
     def __repr__(self) -> str:

@@ -27,7 +27,7 @@ from __future__ import annotations
 from heapq import heappop
 from typing import Optional
 
-from ..sim.core import Environment, Event
+from ..sim.core import NORMAL, Environment, Event
 from ..sim.errors import Interrupt
 from .metrics import MetricsCollector
 from .node import Node
@@ -133,6 +133,9 @@ class PreemptiveNode(Node):
                 done = unit._done
                 if done is not None:
                     done.succeed(unit)
+                on_done = unit.on_done
+                if on_done is not None:
+                    env._schedule_call(on_done, value=unit, priority=NORMAL)
                 continue
 
             demand = remaining.get(unit.id, timing.ex)
@@ -172,3 +175,6 @@ class PreemptiveNode(Node):
             done = unit._done
             if done is not None:
                 done.succeed(unit)
+            on_done = unit.on_done
+            if on_done is not None:
+                env._schedule_call(on_done, value=unit, priority=NORMAL)

@@ -22,6 +22,28 @@ virtual deadline expired.  A serial chain cannot continue past a discarded
 stage, and a parallel group is incomplete if any member was discarded, so
 the whole global task is recorded as aborted (and missed).
 
+Hot-path notes
+--------------
+
+Coordination is a callback state machine, mirroring the node rewrite: no
+generator frame per tree level, no coroutine resume per stage, no
+``Process``/``all_of`` machinery per parallel group.  Each leaf's
+completion event (a lightweight kernel callback scheduled by the node,
+see :attr:`~repro.system.work.WorkUnit.on_done`) drives the next serial
+stage directly through a chain of small *continuation frames*:
+
+* :class:`_TaskRun` is the root frame -- it records the end-to-end
+  outcome when the tree finishes;
+* :class:`_SerialFrame` advances one child per completion, computing the
+  next virtual deadline at that moment;
+* :class:`_ParallelFrame` is a counting join: every branch completion
+  decrements it, and the last one continues the parent.
+
+The abort signal is a boolean threaded through ``child_done(aborted)``
+rather than an exception: a parallel join must wait for *all* branches
+(the group's outcome is decided by the last finisher), so an exception
+unwinding through the join would tear it down early.
+
 The paper does not model the manager's own resource consumption ("this
 consumption can be considered as additional subtasks"); neither do we.
 """
@@ -30,13 +52,12 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from ..core.strategies import DeadlineAssigner
 from ..core.task import ParallelTask, SerialTask, SimpleTask, TaskClass, TaskNode
 from ..core.timing import fast_timing
-from ..sim.core import Environment
-from ..sim.process import Process
+from ..sim.core import Environment, Event
 from .metrics import MetricsCollector
 from .node import Node
 from .work import WorkUnit
@@ -62,16 +83,222 @@ class GlobalTaskOutcome:
         return self.completed_at > self.deadline
 
     @property
-    def response_time(self) -> float:
-        return (self.completed_at or 0.0) - self.arrival
+    def response_time(self) -> Optional[float]:
+        """End-to-end response time, or ``None`` for aborted tasks.
+
+        An aborted task never completed, so it has no response time; the
+        miss-ratio statistics count it via :attr:`missed`/:attr:`aborted`
+        instead.
+        """
+        if self.completed_at is None:
+            return None
+        return self.completed_at - self.arrival
 
     @property
-    def lateness(self) -> float:
-        return (self.completed_at or 0.0) - self.deadline
+    def lateness(self) -> Optional[float]:
+        """Completion time minus deadline, or ``None`` for aborted tasks."""
+        if self.completed_at is None:
+            return None
+        return self.completed_at - self.deadline
 
 
-class _Aborted(Exception):
-    """Internal signal: a subtask was discarded, the task cannot complete."""
+class _Continuation:
+    """Shared leaf-completion plumbing for the coordination frames.
+
+    Every frame exposes ``child_done(aborted)`` (called directly by child
+    frames) and ``_on_unit`` (the kernel callback attached to leaf work
+    units via :attr:`WorkUnit.on_done`; the event's value is the unit).
+    """
+
+    __slots__ = ()
+
+    def _on_unit(self, event: Event) -> None:
+        self.child_done(event._value.timing.aborted)
+
+
+class _TaskRun(_Continuation):
+    """Root frame: one in-flight global task, start to outcome."""
+
+    __slots__ = (
+        "manager",
+        "tree",
+        "deadline",
+        "global_id",
+        "arrival",
+        "outcome_event",
+        "on_unit",
+    )
+
+    def __init__(
+        self,
+        manager: "ProcessManager",
+        tree: TaskNode,
+        deadline: float,
+        outcome_event: Optional[Event],
+    ) -> None:
+        self.manager = manager
+        self.tree = tree
+        self.deadline = deadline
+        self.global_id = next(_global_counter)
+        self.arrival = 0.0  # stamped when the start kick fires
+        self.outcome_event = outcome_event
+        self.on_unit = self._on_unit  # bound once; reused per leaf
+
+    def _start(self, _event: Event) -> None:
+        """Deferred start kick (scheduled by ``submit``): walk the tree.
+
+        Deferring by one urgent event preserves the classic submission
+        semantics the generator coordinator had: work already enqueued at
+        the same instant enters service before this task's first subtask
+        is pushed.
+        """
+        manager = self.manager
+        arrival = manager.env._now
+        self.arrival = arrival
+        manager._execute(self.tree, arrival, self.deadline, self, 0, self)
+
+    def child_done(self, aborted: bool) -> None:
+        """The whole tree finished (or a subtask was discarded): record."""
+        manager = self.manager
+        now = manager.env._now
+        deadline = self.deadline
+        if aborted:
+            manager.metrics.record_global_completion(
+                timing_missed=True, aborted=True
+            )
+        else:
+            manager.metrics.record_global_completion(
+                timing_missed=now > deadline,
+                aborted=False,
+                response_time=now - self.arrival,
+                lateness=now - deadline,
+            )
+        outcome_event = self.outcome_event
+        if outcome_event is not None:
+            outcome_event.succeed(
+                GlobalTaskOutcome(
+                    global_id=self.global_id,
+                    arrival=self.arrival,
+                    deadline=deadline,
+                    completed_at=None if aborted else now,
+                    aborted=aborted,
+                )
+            )
+
+
+class _SerialFrame(_Continuation):
+    """One serial group: runs its children in order.
+
+    Each completion advances to the next child; the SSP strategy computes
+    that child's virtual deadline *at the moment it starts*, so leftover
+    slack (or tardiness) of earlier stages is visible.
+    """
+
+    __slots__ = (
+        "manager",
+        "run",
+        "parent",
+        "children",
+        "pexes",
+        "index",
+        "window_arrival",
+        "window_deadline",
+        "stage_base",
+        "on_unit",
+    )
+
+    def __init__(
+        self,
+        manager: "ProcessManager",
+        node: SerialTask,
+        run: _TaskRun,
+        parent: _Continuation,
+        window_arrival: float,
+        window_deadline: float,
+        stage_base: int,
+    ) -> None:
+        self.manager = manager
+        self.run = run
+        self.parent = parent
+        children = node.children
+        self.children = children
+        # The pex envelope of every child, computed once; each stage's
+        # context takes the tail slice (current child first).
+        self.pexes = tuple(
+            child.pex if type(child) is SimpleTask else child.total_pex()
+            for child in children
+        )
+        self.index = 0
+        self.window_arrival = window_arrival
+        self.window_deadline = window_deadline
+        self.stage_base = stage_base
+        self.on_unit = self._on_unit  # bound once; reused per stage
+
+    def child_done(self, aborted: bool) -> None:
+        if aborted:
+            # A serial chain cannot continue past a discarded stage.
+            self.parent.child_done(True)
+            return
+        index = self.index + 1
+        if index == len(self.children):
+            self.parent.child_done(False)
+            return
+        self.index = index
+        self._advance()
+
+    def _advance(self) -> None:
+        """Assign the current child its virtual deadline and launch it."""
+        manager = self.manager
+        env = manager.env
+        i = self.index
+        child = self.children[i]
+        deadline = manager._serial_deadline(
+            self.pexes[i:],
+            env._now,
+            self.window_arrival,
+            self.window_deadline,
+        )
+        if type(child) is SimpleTask:
+            # Direct leaf call: no child frame on the dominant
+            # serial-chain-of-leaves structure.
+            manager._submit_leaf(
+                child, deadline, self.run, self.stage_base + i, self.on_unit
+            )
+        else:
+            manager._execute(
+                child,
+                window_arrival=env._now,
+                window_deadline=deadline,
+                run=self.run,
+                stage=self.stage_base + i,
+                parent=self,
+            )
+
+
+class _ParallelFrame(_Continuation):
+    """One parallel group: a counting join over its branches.
+
+    Every branch completion decrements ``remaining``; the last one
+    continues the parent.  The join waits for *all* branches even after
+    one aborts -- the group's outcome is decided by the last finisher --
+    so the abort signal is latched, not propagated early.
+    """
+
+    __slots__ = ("parent", "remaining", "aborted", "on_unit")
+
+    def __init__(self, parent: _Continuation, fan_out: int) -> None:
+        self.parent = parent
+        self.remaining = fan_out
+        self.aborted = False
+        self.on_unit = self._on_unit  # bound once; shared by all branches
+
+    def child_done(self, aborted: bool) -> None:
+        if aborted:
+            self.aborted = True
+        remaining = self.remaining - 1
+        self.remaining = remaining
+        if remaining == 0:
+            self.parent.child_done(self.aborted)
 
 
 class ProcessManager:
@@ -88,88 +315,80 @@ class ProcessManager:
         self.nodes = list(nodes)
         self.assigner = assigner
         self.metrics = metrics
-        # Bound once for the per-leaf hot path.
+        # Bound once for the per-leaf / per-stage hot paths.
         self._priority_class = assigner.psp.priority_class
+        self._serial_deadline = assigner.serial_deadline
+        self._parallel_deadline = assigner.parallel_deadline
         #: Number of global tasks submitted so far (for tracing/tests).
         self.submitted = 0
 
     # -- public API ----------------------------------------------------------
 
-    def submit(self, tree: TaskNode, deadline: float) -> Process:
+    def submit(self, tree: TaskNode, deadline: float) -> Event:
         """Launch a global task with the given end-to-end deadline.
 
-        Returns the coordination process; its value (once it fires) is the
-        :class:`GlobalTaskOutcome`.  Metrics are recorded automatically.
+        Returns an event that fires (with the :class:`GlobalTaskOutcome`)
+        when the task completes or aborts.  Metrics are recorded
+        automatically.  A deadline already in the past is permitted -- a
+        soft real-time system may receive a task that is already hopeless
+        -- but the tree must be well formed.
         """
-        if deadline < self.env.now:
-            # Permitted -- a soft real-time system may receive a task that
-            # is already hopeless -- but the tree must still be well formed.
-            pass
         tree.validate()
         self.submitted += 1
-        return self.env.process(self._run_global(tree, deadline))
+        outcome_event = Event(self.env)
+        run = _TaskRun(self, tree, deadline, outcome_event)
+        self.env._schedule_call(run._start)
+        return outcome_event
+
+    def submit_nowait(self, tree: TaskNode, deadline: float) -> None:
+        """Launch a global task without materializing its outcome event.
+
+        Fast path for fire-and-forget submitters (the global task source
+        never joins on its tasks): metrics are still recorded, but the
+        per-task outcome event -- one allocation plus one dead event-list
+        entry per completion -- is skipped.
+        """
+        tree.validate()
+        self.submitted += 1
+        run = _TaskRun(self, tree, deadline, None)
+        self.env._schedule_call(run._start)
 
     # -- tree execution --------------------------------------------------------
-
-    def _run_global(self, tree: TaskNode, deadline: float):
-        global_id = next(_global_counter)
-        arrival = self.env.now
-        aborted = False
-        try:
-            yield from self._execute(
-                tree, arrival, deadline, global_id, stage=0,
-                natural_deadline=deadline,
-            )
-        except _Aborted:
-            aborted = True
-        outcome = GlobalTaskOutcome(
-            global_id=global_id,
-            arrival=arrival,
-            deadline=deadline,
-            completed_at=None if aborted else self.env.now,
-            aborted=aborted,
-        )
-        self.metrics.record_global_completion(
-            timing_missed=outcome.missed,
-            aborted=aborted,
-            response_time=outcome.response_time,
-            lateness=outcome.lateness,
-        )
-        return outcome
 
     def _execute(
         self,
         node: TaskNode,
         window_arrival: float,
         window_deadline: float,
-        global_id: int,
+        run: _TaskRun,
         stage: int,
-        natural_deadline: float,
-    ):
+        parent: _Continuation,
+    ) -> None:
+        """Launch one subtree; ``parent.child_done`` fires when it ends."""
         if isinstance(node, SimpleTask):
-            yield from self._execute_leaf(
-                node, window_deadline, global_id, stage, natural_deadline
-            )
+            self._submit_leaf(node, window_deadline, run, stage, parent.on_unit)
         elif isinstance(node, SerialTask):
-            yield from self._execute_serial(
-                node, window_arrival, window_deadline, global_id, stage,
-                natural_deadline,
-            )
+            _SerialFrame(
+                self, node, run, parent, window_arrival, window_deadline,
+                stage,
+            )._advance()
         elif isinstance(node, ParallelTask):
-            yield from self._execute_parallel(
-                node, window_deadline, global_id, stage, natural_deadline
-            )
+            self._fork_parallel(node, window_deadline, run, stage, parent)
         else:
-            raise TypeError(f"cannot execute task node of type {type(node).__name__}")
+            raise TypeError(
+                f"cannot execute task node of type {type(node).__name__}"
+            )
 
-    def _execute_leaf(
+    def _submit_leaf(
         self,
         leaf: SimpleTask,
         deadline: float,
-        global_id: int,
+        run: _TaskRun,
         stage: int,
-        natural_deadline: float,
-    ):
+        on_done,
+    ) -> None:
+        """Turn a leaf into a work unit at its node; ``on_done`` fires at
+        completion (or discard) with the unit as the event value."""
         node_index = leaf.node_index
         if node_index is None:
             raise ValueError(
@@ -178,7 +397,7 @@ class ProcessManager:
             )
         env = self.env
         timing = fast_timing(
-            ar=env.now,
+            ar=env._now,
             ex=leaf.ex,
             pex=leaf.pex,
             dl=deadline,
@@ -191,108 +410,45 @@ class ProcessManager:
             node_index=node_index,
             timing=timing,
             priority_class=self._priority_class,
-            global_id=global_id,
+            global_id=run.global_id,
             stage=stage,
-            natural_deadline=natural_deadline,
+            natural_deadline=run.deadline,
+            on_done=on_done,
         )
-        done = self.nodes[node_index].submit(unit)
-        yield done
-        if timing.aborted:
-            raise _Aborted()
+        self.nodes[node_index].submit_nowait(unit)
 
-    def _execute_serial(
-        self,
-        node: SerialTask,
-        window_arrival: float,
-        window_deadline: float,
-        global_id: int,
-        stage: int,
-        natural_deadline: float,
-    ):
-        children = node.children
-        env = self.env
-        serial_deadline = self.assigner.serial_deadline
-        # The pex envelope of every child, computed once; each stage's
-        # context takes the tail slice (current child first).
-        pexes = tuple(
-            child.pex if type(child) is SimpleTask else child.total_pex()
-            for child in children
-        )
-        for i, child in enumerate(children):
-            deadline = serial_deadline(
-                pexes[i:],
-                env.now,
-                window_arrival,
-                window_deadline,
-            )
-            if type(child) is SimpleTask:
-                # Direct leaf call: skips one generator frame per stage on
-                # the dominant serial-chain-of-leaves structure.
-                yield from self._execute_leaf(
-                    child, deadline, global_id, stage + i, natural_deadline
-                )
-            else:
-                yield from self._execute(
-                    child,
-                    window_arrival=env.now,
-                    window_deadline=deadline,
-                    global_id=global_id,
-                    stage=stage + i,
-                    natural_deadline=natural_deadline,
-                )
-
-    def _execute_parallel(
+    def _fork_parallel(
         self,
         node: ParallelTask,
         window_deadline: float,
-        global_id: int,
+        run: _TaskRun,
         stage: int,
-        natural_deadline: float,
-    ):
+        parent: _Continuation,
+    ) -> None:
+        """Fork all branches at once under a counting join."""
         children = node.children
-        fork_time = self.env.now
+        fork_time = self.env._now
         fan_out = len(children)
-        parallel_deadline = self.assigner.parallel_deadline
-        process = self.env.process
-        branches: List[Process] = []
+        parallel_deadline = self._parallel_deadline
+        frame = _ParallelFrame(parent, fan_out)
+        on_unit = frame.on_unit
         for i, child in enumerate(children):
+            is_leaf = type(child) is SimpleTask
             deadline = parallel_deadline(
                 fan_out=fan_out,
                 index=i,
-                pex=child.pex if type(child) is SimpleTask else child.total_pex(),
+                pex=child.pex if is_leaf else child.total_pex(),
                 now=fork_time,
                 window_deadline=window_deadline,
             )
-            branches.append(
-                process(
-                    self._branch(child, fork_time, deadline,
-                                 global_id, stage + i, natural_deadline)
+            if is_leaf:
+                self._submit_leaf(child, deadline, run, stage + i, on_unit)
+            else:
+                self._execute(
+                    child,
+                    window_arrival=fork_time,
+                    window_deadline=deadline,
+                    run=run,
+                    stage=stage + i,
+                    parent=frame,
                 )
-            )
-        yield self.env.all_of(branches)
-        if any(branch.value == "aborted" for branch in branches):
-            raise _Aborted()
-
-    def _branch(
-        self,
-        child: TaskNode,
-        window_arrival: float,
-        window_deadline: float,
-        global_id: int,
-        stage: int,
-        natural_deadline: float,
-    ):
-        """Wrapper process for one parallel branch.
-
-        Converts the abort signal into a return value: the join must wait
-        for *all* branches (the group's outcome is decided by the last
-        finisher), so an exception must not tear the join down early.
-        """
-        try:
-            yield from self._execute(
-                child, window_arrival, window_deadline, global_id, stage,
-                natural_deadline,
-            )
-        except _Aborted:
-            return "aborted"
-        return "ok"

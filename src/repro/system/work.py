@@ -14,7 +14,7 @@ subtasks, or segments of global tasks, instead of complete tasks".
 from __future__ import annotations
 
 import itertools
-from typing import Optional
+from typing import Callable, Optional
 
 from ..core.strategies.base import PriorityClass
 from ..core.task import TaskClass
@@ -36,6 +36,7 @@ class WorkUnit:
         "timing",
         "priority_class",
         "_done",
+        "on_done",
         "global_id",
         "stage",
         "natural_deadline",
@@ -52,6 +53,7 @@ class WorkUnit:
         global_id: Optional[int] = None,
         stage: Optional[int] = None,
         natural_deadline: Optional[float] = None,
+        on_done: Optional[Callable[[Event], None]] = None,
     ) -> None:
         if timing.dl is None:
             raise ValueError(
@@ -70,6 +72,13 @@ class WorkUnit:
         #: sources) never join on their units, and skipping the event saves
         #: an allocation plus a dead heap entry per local completion.
         self._done: Optional[Event] = None
+        #: Lightweight completion callback (the process manager's
+        #: continuation): when set, the node schedules it as a bare
+        #: single-callback event at completion/discard time, with the unit
+        #: as the event value.  Cheaper than :attr:`done` (no ``Event``
+        #: construction, no lazy property, no callback-list append), but
+        #: single-listener only; external joiners use :attr:`done`.
+        self.on_done = on_done
         #: Id of the enclosing global task, if any (for tracing).
         self.global_id = global_id
         #: Stage index within the enclosing global task (for tracing).

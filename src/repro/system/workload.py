@@ -354,9 +354,11 @@ class SerialParallelFactory(GlobalTaskFactory):
 class GlobalTaskSource:
     """Single Poisson stream of global tasks feeding the process manager.
 
-    Like :class:`LocalTaskSource`, a self-rescheduling timeout callback:
-    the per-task coordination still runs as a process (it must join on
-    subtasks), but the arrival stream itself needs none.
+    Like :class:`LocalTaskSource`, a self-rescheduling timeout callback.
+    Submission uses the manager's fire-and-forget path
+    (:meth:`~repro.system.process_manager.ProcessManager.submit_nowait`):
+    the source never joins on a task's outcome, so the per-task outcome
+    event is skipped entirely.
     """
 
     __slots__ = (
@@ -388,7 +390,7 @@ class GlobalTaskSource:
         self.generated = 0
         self._next_interarrival = interarrival.bind(self._arrival_stream)
         self._build = factory.build
-        self._submit = process_manager.submit
+        self._submit = process_manager.submit_nowait
         self._on_arrive = self._arrive  # bound once; reused per arrival
         env._sleep(self._next_interarrival()).callbacks.append(self._on_arrive)
 

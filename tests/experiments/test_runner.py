@@ -152,6 +152,65 @@ class TestReplicate:
             resolve_workers(-1)
 
 
+class TestBatchExecutor:
+    def test_resolve_batch_size_auto(self):
+        from repro.experiments.runner import resolve_batch_size
+
+        # ~4 batches per worker: 40 runs / (2 workers * 4) = 5 per batch.
+        assert resolve_batch_size(0, runs=40, workers=2) == 5
+        # Rounds up so no runs are dropped.
+        assert resolve_batch_size(0, runs=41, workers=2) == 6
+        # Never below one run per batch.
+        assert resolve_batch_size(0, runs=3, workers=4) == 1
+
+    def test_resolve_batch_size_explicit_and_invalid(self):
+        from repro.experiments.runner import resolve_batch_size
+
+        assert resolve_batch_size(7, runs=40, workers=2) == 7
+        with pytest.raises(ValueError):
+            resolve_batch_size(-1, runs=40, workers=2)
+
+    def test_run_config_batch_preserves_order(self):
+        """One warm-interpreter batch returns results positionally."""
+        from repro.experiments.runner import run_config_batch
+
+        configs = [
+            baseline_config(sim_time=400.0, warmup_time=40.0, seed=s)
+            for s in (5, 6)
+        ]
+        batch = run_config_batch(configs)
+        singles = [run_config_batch([config])[0] for config in configs]
+        assert batch == singles
+
+    def test_batched_pool_matches_serial(self, monkeypatch):
+        """Force the process-pool branch and check the batched grid --
+        including the batch slicing and result flattening -- reproduces
+        the serial sweep bit for bit at several batch sizes."""
+        import repro.experiments.runner as runner_mod
+
+        monkeypatch.setattr(
+            runner_mod.multiprocessing, "cpu_count", lambda: 2
+        )
+        scale = RunScale(sim_time=400.0, warmup_time=40.0, replications=2)
+        kwargs = dict(
+            base=baseline_config(),
+            parameter="load",
+            values=[0.2, 0.4],
+            strategies=["UD"],
+            scale=scale,
+        )
+        serial = sweep(**kwargs)
+        for batch_size in (0, 1, 3, 100):
+            batched = sweep(**kwargs, workers=2, batch_size=batch_size)
+            for s, p in zip(serial.points, batched.points):
+                assert (s.x, s.strategy) == (p.x, p.strategy)
+                assert s.estimate.md_local.mean == p.estimate.md_local.mean
+                assert s.estimate.md_global.mean == p.estimate.md_global.mean
+                assert (
+                    s.estimate.local_completed == p.estimate.local_completed
+                )
+
+
 class TestSweep:
     def test_grid_shape(self):
         result = sweep(

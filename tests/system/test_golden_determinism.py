@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.system.config import baseline_config
+from repro.system.config import baseline_config, serial_parallel_config
 from repro.system.simulation import simulate
 
 #: SMOKE-scale run lengths (kept in sync with repro.experiments.runner.SMOKE,
@@ -89,6 +89,93 @@ class TestParallelStructureGolden:
         assert result.global_.missed == 69
         assert result.local.mean_response == 2.02008830512072
         assert result.global_.mean_response == 3.4160475119459655
+
+
+class TestSerialParallelTreeGolden:
+    """Exact values for serial-of-parallel trees (nested frames: serial
+    sequencing, fork/join, SSP *and* PSP deadline assignment in one run).
+
+    Together with the serial and parallel classes above this pins the
+    coordinator on all three structural paths.  Values produced by the
+    generator-based coordinator (pre-callback-rewrite); the callback state
+    machine must reproduce them bit for bit.
+    """
+
+    @pytest.fixture(scope="class")
+    def sp_result(self):
+        return simulate(
+            serial_parallel_config(
+                sim_time=SIM_TIME, warmup_time=WARMUP, seed=11,
+                strategy="EQF-DIV1",
+            )
+        )
+
+    def test_counts(self, sp_result):
+        assert sp_result.local.completed == 5137
+        assert sp_result.local.missed == 1283
+        assert sp_result.local.aborted == 0
+        assert sp_result.global_.completed == 453
+        assert sp_result.global_.missed == 106
+        assert sp_result.global_.aborted == 0
+
+    def test_means_exact(self, sp_result):
+        assert sp_result.local.mean_response == 1.8865596603468753
+        assert sp_result.global_.mean_response == 5.267169225416433
+        assert sp_result.global_.mean_lateness == -1.776663993737578
+
+    def test_per_node_dispatch_counts(self, sp_result):
+        assert [n.dispatched for n in sp_result.per_node] == [
+            1194, 1173, 1089, 1218, 1177, 1101,
+        ]
+
+    def test_trace_on_equals_trace_off(self, sp_result):
+        config = serial_parallel_config(
+            sim_time=SIM_TIME, warmup_time=WARMUP, seed=11,
+            strategy="EQF-DIV1",
+        )
+        assert simulate(config.with_(trace=True)) == sp_result
+
+
+class TestPreemptiveNodeGolden:
+    """Exact values for preemptive-resume nodes (the generator-server
+    ablation path): the coordinator must drive both node kinds
+    identically."""
+
+    @pytest.fixture(scope="class")
+    def preemptive_result(self):
+        return simulate(
+            baseline_config(
+                sim_time=SIM_TIME, warmup_time=WARMUP, seed=13,
+                preemptive=True, strategy="EQF",
+            )
+        )
+
+    def test_counts(self, preemptive_result):
+        assert preemptive_result.local.completed == 5042
+        assert preemptive_result.local.missed == 682
+        assert preemptive_result.local.aborted == 0
+        assert preemptive_result.global_.completed == 466
+        assert preemptive_result.global_.missed == 104
+        assert preemptive_result.global_.aborted == 0
+
+    def test_means_exact(self, preemptive_result):
+        assert preemptive_result.local.mean_response == 1.5762545004314168
+        assert preemptive_result.global_.mean_response == 7.424304595979559
+
+    def test_node0_utilization_exact(self, preemptive_result):
+        assert preemptive_result.per_node[0].utilization == 0.507071724957115
+
+    def test_per_node_dispatch_counts(self, preemptive_result):
+        assert [n.dispatched for n in preemptive_result.per_node] == [
+            1347, 1325, 1306, 1476, 1435, 1349,
+        ]
+
+    def test_trace_on_equals_trace_off(self, preemptive_result):
+        config = baseline_config(
+            sim_time=SIM_TIME, warmup_time=WARMUP, seed=13,
+            preemptive=True, strategy="EQF",
+        )
+        assert simulate(config.with_(trace=True)) == preemptive_result
 
 
 class TestTracingIsObservationOnly:

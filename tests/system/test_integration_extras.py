@@ -87,13 +87,13 @@ class TestGFPriorities:
     def test_gf_stamps_elevated_class_on_serial_stages(self, env):
         manager, _, nodes = build_system(env, strategy="EQF-GF")
         captured = []
-        original = nodes[0].submit
+        original = nodes[0].submit_nowait
 
         def capture(unit):
             captured.append(unit)
             return original(unit)
 
-        nodes[0].submit = capture
+        nodes[0].submit_nowait = capture
         tree = serial(SimpleTask(1.0, node_index=0), SimpleTask(1.0, node_index=1))
         manager.submit(tree, deadline=50.0)
         env.run()

@@ -244,6 +244,54 @@ class TestAbortPropagation:
         assert healthy.timing.completed_at == 1.0
 
 
+class TestAbortedOutcomeValues:
+    """Regression: aborted outcomes must not report fabricated timings.
+
+    ``response_time``/``lateness`` used to compute ``0.0 - arrival`` /
+    ``0.0 - deadline`` for aborted tasks (``completed_at`` is ``None``),
+    yielding large negative garbage; they now return ``None``.
+    """
+
+    def _aborted_outcome(self, env):
+        manager, metrics, nodes = build_system(
+            env, overload=AbortTardyAtDispatch()
+        )
+        from tests.system.test_node import submit as node_submit
+
+        node_submit(env, nodes[0], ex=10.0, dl=100.0, name="blocker")
+        proc = manager.submit(SimpleTask(1.0, node_index=0), deadline=2.0)
+        env.run()
+        return proc.value, metrics
+
+    def test_aborted_response_time_and_lateness_are_none(self, env):
+        outcome, _ = self._aborted_outcome(env)
+        assert outcome.aborted
+        assert outcome.completed_at is None
+        assert outcome.response_time is None
+        assert outcome.lateness is None
+
+    def test_aborted_task_leaves_response_stats_untouched(self, env):
+        """The miss counters move, but no phantom response/lateness sample
+        is folded into the means."""
+        _, metrics = self._aborted_outcome(env)
+        stats = metrics.snapshot(env.now).global_
+        assert stats.aborted == 1
+        assert stats.missed == 1
+        # No samples observed: the Tally means stay at their empty value.
+        import math
+
+        assert math.isnan(stats.mean_response)
+        assert math.isnan(stats.mean_lateness)
+
+    def test_completed_outcome_still_reports_timings(self, env):
+        manager, _, _ = build_system(env)
+        proc = manager.submit(SimpleTask(1.5, node_index=0), deadline=10.0)
+        env.run()
+        outcome = proc.value
+        assert outcome.response_time == pytest.approx(1.5)
+        assert outcome.lateness == pytest.approx(-8.5)
+
+
 class TestSubmissionBookkeeping:
     def test_submitted_counter(self, env):
         manager, _, _ = build_system(env)
@@ -251,6 +299,25 @@ class TestSubmissionBookkeeping:
             manager.submit(SimpleTask(0.5, node_index=0), deadline=50.0)
         env.run()
         assert manager.submitted == 3
+
+    def test_submit_nowait_records_metrics_without_outcome_event(self, env):
+        """The fire-and-forget path (used by the global task source) still
+        records end-to-end metrics."""
+        manager, metrics, _ = build_system(env)
+        assert manager.submit_nowait(
+            SimpleTask(0.5, node_index=0), deadline=50.0
+        ) is None
+        env.run()
+        assert manager.submitted == 1
+        assert metrics.snapshot(env.now).global_.completed == 1
+
+    def test_past_deadline_accepted(self, env):
+        """A soft real-time system accepts already-hopeless tasks."""
+        manager, metrics, _ = build_system(env)
+        proc = manager.submit(SimpleTask(1.0, node_index=0), deadline=-5.0)
+        env.run()
+        assert proc.value.missed
+        assert metrics.snapshot(env.now).global_.completed == 1
 
     def test_invalid_tree_rejected_at_submit(self, env):
         manager, _, _ = build_system(env)
