@@ -20,6 +20,10 @@ BENCH_KERNEL_JSON = Path(__file__).parent.parent / "BENCH_kernel.json"
 #: (``bench_manager.py``); same contract as ``BENCH_kernel.json``.
 BENCH_MANAGER_JSON = Path(__file__).parent.parent / "BENCH_manager.json"
 
+#: Machine-readable record of per-scenario runtimes
+#: (``bench_scenarios.py``); same contract as ``BENCH_kernel.json``.
+BENCH_SCENARIOS_JSON = Path(__file__).parent.parent / "BENCH_scenarios.json"
+
 
 def save_artifact(name: str, text: str) -> Path:
     """Write a rendered table/chart to ``benchmarks/results/<name>.txt``."""
@@ -70,6 +74,11 @@ def record_kernel_bench(name: str, benchmark) -> Path | None:
 def record_manager_bench(name: str, benchmark) -> Path | None:
     """Record one coordinator microbenchmark into ``BENCH_manager.json``."""
     return record_bench(BENCH_MANAGER_JSON, name, benchmark)
+
+
+def record_scenario_bench(name: str, benchmark) -> Path | None:
+    """Record one scenario runtime into ``BENCH_scenarios.json``."""
+    return record_bench(BENCH_SCENARIOS_JSON, name, benchmark)
 
 
 def series_end(figure, strategy: str, metric: str = "global") -> float:

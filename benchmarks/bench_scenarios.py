@@ -1,0 +1,59 @@
+"""Per-scenario runtime benchmarks for the scenario library.
+
+Not a paper artifact: tracks what each library scenario *costs* to
+simulate relative to the baseline, so a new workload dimension that
+accidentally lands on the hot path (e.g. a placement policy scanning
+nodes per subtask, or an arrival sampler consuming extra draws) shows up
+as a runtime regression here before it shows up in a slow FULL sweep.
+
+Every library scenario runs the same short window under the same
+strategy; per-scenario medians are merged into ``BENCH_scenarios.json``
+at the repo root (same contract as ``BENCH_kernel.json``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scenarios import LIBRARY, get_scenario
+
+from _util import record_scenario_bench
+
+#: Short but representative: thousands of task completions per round.
+_RUN = dict(sim_time=1_500.0, warmup_time=150.0)
+
+
+@pytest.mark.parametrize("spec", LIBRARY, ids=lambda s: s.name)
+def test_scenario_runtime(benchmark, spec):
+    """One run of each library scenario under EQF."""
+    from repro.system.simulation import simulate
+
+    config = spec.to_config(strategy="EQF", seed=17, **_RUN)
+
+    def run():
+        result = simulate(config)
+        return result.local.completed
+
+    completed = benchmark(run)
+    record_scenario_bench(spec.name, benchmark)
+    assert completed > 100
+
+
+def test_scenario_overhead_vs_baseline(benchmark):
+    """The stress scenario (every dimension on) as one tracked number.
+
+    Guards the composition cost: bursty sampler + Pareto service + Zipf
+    placement together should stay within a small factor of baseline.
+    """
+    from repro.system.simulation import simulate
+
+    config = get_scenario("stress-mix").to_config(
+        strategy="EQF", seed=17, **_RUN
+    )
+
+    def run():
+        return simulate(config).local.completed
+
+    completed = benchmark(run)
+    record_scenario_bench("stress_mix_tracked", benchmark)
+    assert completed > 100

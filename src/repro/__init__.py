@@ -6,8 +6,10 @@ end: a discrete-event simulation kernel (:mod:`repro.sim`), the
 serial-parallel task model and the SSP/PSP strategies
 (:mod:`repro.core`), the distributed system model with independent
 per-node schedulers (:mod:`repro.system`), statistics utilities
-(:mod:`repro.stats`), and the experiment harness that regenerates every
-figure of the paper (:mod:`repro.experiments`).
+(:mod:`repro.stats`), the experiment harness that regenerates every
+figure of the paper (:mod:`repro.experiments`), and a declarative
+scenario subsystem with workloads beyond the paper's model
+(:mod:`repro.scenarios`).
 
 Quickstart::
 

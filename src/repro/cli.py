@@ -9,9 +9,15 @@ Usage::
     repro-experiments run Fig2 --workers 4 --batch-size 5 # 5 runs/dispatch
     repro-experiments run V6 --scale smoke
     repro-experiments simulate --strategy EQF --load 0.5 --structure serial
+    repro-experiments scenarios list
+    repro-experiments scenarios run bursty-mmpp --strategy EQF --seed 7
+    repro-experiments scenarios sweep --scale quick --workers 0
 
 Every experiment id in ``repro-experiments list`` maps to one table/figure
-of the paper (see DESIGN.md's experiment index).
+of the paper (see DESIGN.md's experiment index); ``scenarios`` drives the
+declarative workload library of :mod:`repro.scenarios`.  Every result
+printout echoes the resolved seed, so any printed line is reproducible
+verbatim.
 """
 
 from __future__ import annotations
@@ -24,6 +30,13 @@ from .experiments.figures import FigureResult
 from .experiments.registry import EXPERIMENTS, get_experiment
 from .experiments.runner import SCALES, resolve_batch_size, resolve_workers
 from .experiments.variations import VariationResult
+from .scenarios import (
+    DEFAULT_STRATEGIES,
+    SCENARIOS,
+    get_scenario,
+    run_scenario,
+    run_scenario_sweep,
+)
 from .stats.tables import format_percent, render_table
 from .system.config import (
     SystemConfig,
@@ -42,6 +55,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "table1": _cmd_table1,
         "run": _cmd_run,
         "simulate": _cmd_simulate,
+        "scenarios": _cmd_scenarios,
     }[args.command]
     return handler(args)
 
@@ -101,8 +115,80 @@ def _build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--scheduler", default="EDF")
     simulate.add_argument("--sim-time", type=float, default=20_000.0)
     simulate.add_argument("--warmup", type=float, default=2_000.0)
-    simulate.add_argument("--seed", type=int, default=1)
+    simulate.add_argument(
+        "--seed",
+        type=int,
+        default=1,
+        help="master random seed (echoed in the output for reproducibility)",
+    )
+
+    scenarios = sub.add_parser(
+        "scenarios",
+        help="declarative workload scenarios (repro.scenarios library)",
+    )
+    scenarios_sub = scenarios.add_subparsers(
+        dest="scenarios_command", required=True
+    )
+
+    scenarios_sub.add_parser("list", help="list the scenario library")
+
+    scenario_run = scenarios_sub.add_parser(
+        "run", help="run one scenario under one strategy"
+    )
+    scenario_run.add_argument("scenario", help="scenario name from 'scenarios list'")
+    scenario_run.add_argument("--strategy", default="UD")
+    _add_grid_arguments(scenario_run)
+
+    scenario_sweep = scenarios_sub.add_parser(
+        "sweep",
+        help=(
+            "run scenarios x strategies through the batched pool and rank "
+            "strategies per scenario"
+        ),
+    )
+    scenario_sweep.add_argument(
+        "--scenario",
+        action="append",
+        dest="scenario_names",
+        metavar="NAME",
+        help="restrict to this scenario (repeatable; default: whole library)",
+    )
+    scenario_sweep.add_argument(
+        "--strategies",
+        nargs="+",
+        default=list(DEFAULT_STRATEGIES),
+        help=f"strategy panel (default: {' '.join(DEFAULT_STRATEGIES)})",
+    )
+    _add_grid_arguments(scenario_sweep)
     return parser
+
+
+def _add_grid_arguments(parser: argparse.ArgumentParser) -> None:
+    """The run-control knobs shared by scenario runs and sweeps."""
+    parser.add_argument(
+        "--scale",
+        choices=sorted(SCALES),
+        default="quick",
+        help="run length preset (default: quick)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=1,
+        help="base random seed (echoed in the output for reproducibility)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="process-pool workers (default: 1 = serial, 0 = all CPU cores)",
+    )
+    parser.add_argument(
+        "--batch-size",
+        type=int,
+        default=0,
+        help="runs per warm-worker pool dispatch (default: 0 = auto)",
+    )
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
@@ -180,6 +266,123 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         ["global tasks finished", result.global_.completed],
     ]
     print(render_table(["metric", "value"], rows, title=config.describe()))
+    print(f"resolved seed: {config.seed}")
+    return 0
+
+
+def _cmd_scenarios(args: argparse.Namespace) -> int:
+    handler = {
+        "list": _cmd_scenarios_list,
+        "run": _cmd_scenarios_run,
+        "sweep": _cmd_scenarios_sweep,
+    }[args.scenarios_command]
+    return handler(args)
+
+
+def _cmd_scenarios_list(args: argparse.Namespace) -> int:
+    rows = [
+        [spec.name, spec.describe(), spec.description]
+        for spec in SCENARIOS.values()
+    ]
+    print(render_table(
+        ["scenario", "dimensions", "description"],
+        rows,
+        title="Scenario library (repro.scenarios)",
+    ))
+    return 0
+
+
+def _resolve_grid_arguments(args: argparse.Namespace):
+    """Validate the shared grid knobs; returns (scale, workers) or an error
+    message."""
+    scale = SCALES[args.scale]
+    workers = resolve_workers(args.workers)
+    # Validation only (runs/workers placeholders), as in `run`.
+    resolve_batch_size(args.batch_size, runs=1, workers=1)
+    return scale, workers
+
+
+def _validate_strategies(names) -> None:
+    """Fail fast on a typoed strategy flag, before any simulation runs."""
+    from .core.strategies import parse_assigner
+
+    for name in names:
+        parse_assigner(name)  # raises ValueError with the offending name
+
+
+def _cmd_scenarios_run(args: argparse.Namespace) -> int:
+    try:
+        spec = get_scenario(args.scenario)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    try:
+        scale, workers = _resolve_grid_arguments(args)
+        _validate_strategies([args.strategy])
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    estimate = run_scenario(
+        spec,
+        strategy=args.strategy,
+        scale=scale,
+        seed=args.seed,
+        workers=workers,
+        batch_size=args.batch_size,
+    )
+    rows = [
+        ["MD_global", format_percent(estimate.md_global.mean)],
+        ["MD_local", format_percent(estimate.md_local.mean)],
+        ["gap (global - local)", format_percent(estimate.gap)],
+        ["mean node utilization", f"{estimate.utilization:.3f}"],
+        ["local tasks finished", estimate.local_completed],
+        ["global tasks finished", estimate.global_completed],
+        ["replications", scale.replications],
+    ]
+    print(render_table(
+        ["metric", "value"],
+        rows,
+        title=(
+            f"scenario {spec.name} strategy={args.strategy} "
+            f"scale={scale.label}"
+        ),
+    ))
+    print(f"resolved seed: {args.seed}")
+    return 0
+
+
+def _cmd_scenarios_sweep(args: argparse.Namespace) -> int:
+    try:
+        specs = (
+            [get_scenario(name) for name in args.scenario_names]
+            if args.scenario_names
+            else list(SCENARIOS.values())
+        )
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    try:
+        scale, workers = _resolve_grid_arguments(args)
+        _validate_strategies(args.strategies)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"sweeping {len(specs)} scenario(s) x {len(args.strategies)} "
+        f"strategies at scale={scale.label} workers={workers} "
+        f"batch-size={args.batch_size or 'auto'} seed={args.seed} ...",
+        file=sys.stderr,
+    )
+    result = run_scenario_sweep(
+        specs,
+        strategies=args.strategies,
+        scale=scale,
+        seed=args.seed,
+        workers=workers,
+        batch_size=args.batch_size,
+    )
+    print(result.table())
+    print(f"resolved seed: {args.seed}")
     return 0
 
 

@@ -1,0 +1,53 @@
+"""repro.scenarios -- declarative workload scenarios beyond the paper.
+
+The paper's evaluation fixes one stylized model (homogeneous nodes,
+Poisson arrivals, exponential service, uniform placement).  This package
+layers a scenario subsystem on top of the fast engine:
+
+* :class:`ScenarioSpec` -- frozen, JSON/dict-round-trippable description
+  composing a :class:`~repro.system.config.SystemConfig` with bursty
+  arrivals, heavy-tailed service, heterogeneous node speeds, pluggable
+  placement, and time-varying load;
+* a curated library of named scenarios (:data:`LIBRARY`) with a registry
+  (:func:`get_scenario`, :func:`register_scenario`);
+* a sweep runner (:func:`run_scenario_sweep`) that pushes the whole
+  scenario x strategy x replication grid through the batched process
+  pool and ranks strategies by missed-deadline ratio per scenario.
+
+CLI: ``repro-experiments scenarios list|run|sweep``.
+"""
+
+from .library import LIBRARY
+from .registry import (
+    SCENARIOS,
+    get_scenario,
+    register_scenario,
+    scenario_names,
+)
+from .report import (
+    DEFAULT_STRATEGIES,
+    ScenarioCell,
+    ScenarioSweepResult,
+    run_scenario,
+    run_scenario_sweep,
+    scenario_grid_configs,
+)
+from .spec import ArrivalSpec, PlacementSpec, ScenarioSpec, ServiceSpec
+
+__all__ = [
+    "ArrivalSpec",
+    "DEFAULT_STRATEGIES",
+    "LIBRARY",
+    "PlacementSpec",
+    "SCENARIOS",
+    "ScenarioCell",
+    "ScenarioSpec",
+    "ScenarioSweepResult",
+    "ServiceSpec",
+    "get_scenario",
+    "register_scenario",
+    "run_scenario",
+    "run_scenario_sweep",
+    "scenario_grid_configs",
+    "scenario_names",
+]

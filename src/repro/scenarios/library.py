@@ -1,0 +1,124 @@
+"""The curated scenario library: named workloads beyond the paper's model.
+
+Each scenario turns exactly the knobs its name promises and keeps the
+rest at the paper's Table 1 baseline, so strategy rankings are
+attributable to the dimension under study.  All scenarios are validated
+stable (worst-case normalized load below 1; see
+:attr:`~repro.scenarios.spec.ScenarioSpec.peak_load`) by the property
+tests in ``tests/scenarios``.
+
+``baseline`` is special: it reduces to the plain ``SystemConfig()`` path
+and is pinned bit-identical to the pre-scenario engine by the golden
+determinism gate.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from .spec import ArrivalSpec, PlacementSpec, ScenarioSpec, ServiceSpec
+
+#: The Table 1 model, untouched (the control every comparison needs).
+BASELINE = ScenarioSpec(
+    name="baseline",
+    description="The paper's homogeneous model (Table 1), unchanged.",
+)
+
+#: Bursty arrivals via hyperexponential interarrival times (CV^2 = 4):
+#: the same mean rate delivered in clumps.
+BURSTY_HYPEREXP = ScenarioSpec(
+    name="bursty-hyperexp",
+    description="Bursty arrivals: hyperexponential interarrivals, CV^2=4.",
+    arrival=ArrivalSpec(model="hyperexp", cv2=4.0),
+)
+
+#: Bursty arrivals via a 2-state MMPP: calm traffic with sustained burst
+#: episodes (4x rate, 20% of the time, ~200 time-unit cycles).
+BURSTY_MMPP = ScenarioSpec(
+    name="bursty-mmpp",
+    description="Markov-modulated bursts: 4x arrival rate 20% of the time.",
+    arrival=ArrivalSpec(
+        model="mmpp2", burst_ratio=4.0, burst_fraction=0.2, cycle_time=200.0
+    ),
+)
+
+#: Heavy-tailed Pareto service (tail index 2.2: finite mean and variance,
+#: but far heavier tails than exponential).
+HEAVY_TAIL_PARETO = ScenarioSpec(
+    name="heavy-tail-pareto",
+    description="Pareto service times (shape 2.2), same mean demand.",
+    service=ServiceSpec(model="pareto", shape=2.2),
+)
+
+#: Lognormal service with log-sigma 1.2 (CV^2 ~ 3.2, skewed).
+HEAVY_TAIL_LOGNORMAL = ScenarioSpec(
+    name="heavy-tail-lognormal",
+    description="Lognormal service times (sigma 1.2), same mean demand.",
+    service=ServiceSpec(model="lognormal", sigma=1.2),
+)
+
+#: Zipf-skewed hotspot placement: low-index nodes absorb most subtasks.
+HOTSPOT_ZIPF = ScenarioSpec(
+    name="hotspot-zipf",
+    description="Zipf-skewed subtask placement (s=1.2): a hotspot node.",
+    placement=PlacementSpec(model="zipf", zipf_s=1.2),
+)
+
+#: Join-the-shortest-queue routing of subtasks (the load-balancer model).
+SMART_ROUTING = ScenarioSpec(
+    name="smart-routing",
+    description="Least-outstanding subtask placement (join shortest queue).",
+    placement=PlacementSpec(model="least-outstanding"),
+)
+
+#: Heterogeneous hardware: two fast, two stock, two slow nodes.
+SLOW_NODES = ScenarioSpec(
+    name="slow-nodes",
+    description="Heterogeneous node speeds 1.3/1.0/0.7 (two of each).",
+    node_speed_factors=(1.3, 1.3, 1.0, 1.0, 0.7, 0.7),
+)
+
+#: Rush hour: load ramps to 1.4x the stationary rate for the middle half
+#: of the run, quiet shoulders either side.
+RUSH_HOUR = ScenarioSpec(
+    name="rush-hour",
+    description="Time-varying load: 0.6x / 1.4x / 0.6x piecewise profile.",
+    load_profile=((0.25, 0.6), (0.5, 1.4), (0.25, 0.6)),
+)
+
+#: Everything at once at elevated load: the stress test.
+STRESS_MIX = ScenarioSpec(
+    name="stress-mix",
+    description=(
+        "Combined stress: bursty arrivals, Pareto service, Zipf hotspot, "
+        "load 0.55."
+    ),
+    arrival=ArrivalSpec(model="hyperexp", cv2=2.0),
+    service=ServiceSpec(model="pareto", shape=2.2),
+    placement=PlacementSpec(model="zipf", zipf_s=1.0),
+    base={"load": 0.55},
+)
+
+#: Parallel fans under smart routing: distinct-node placement where the
+#: policy actually chooses (exercises the PSP strategies end to end).
+PARALLEL_SMART = ScenarioSpec(
+    name="parallel-smart",
+    description="Parallel fans (Sec. 5.2 structure) with least-outstanding placement.",
+    placement=PlacementSpec(model="least-outstanding"),
+    base={"task_structure": "parallel"},
+)
+
+#: Library order is presentation order (baseline first).
+LIBRARY: Tuple[ScenarioSpec, ...] = (
+    BASELINE,
+    BURSTY_HYPEREXP,
+    BURSTY_MMPP,
+    HEAVY_TAIL_PARETO,
+    HEAVY_TAIL_LOGNORMAL,
+    HOTSPOT_ZIPF,
+    SMART_ROUTING,
+    SLOW_NODES,
+    RUSH_HOUR,
+    STRESS_MIX,
+    PARALLEL_SMART,
+)

@@ -1,0 +1,190 @@
+"""Run scenario grids and rank strategies per scenario.
+
+The runner reuses the batched process pool behind
+:func:`repro.experiments.runner.run_grid`: the whole scenario x strategy
+x replication grid is flattened into one pool and sliced into
+warm-interpreter batches, so a full-library sweep parallelizes exactly
+like the paper's figure sweeps (CLI ``--workers`` / ``--batch-size``).
+
+Seeding: cell ``(scenario si, strategy ti)`` uses base seed
+``seed + 1_000 * si + ti`` (the same convention as
+:func:`repro.experiments.runner.sweep`), and every replication derives
+its own seed from that -- so any reported number is reproducible verbatim
+from the echoed seed.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..experiments.runner import (
+    QUICK,
+    PointEstimate,
+    RunScale,
+    replicate,
+    run_grid,
+)
+from ..stats.tables import format_percent, render_table
+from ..system.config import SystemConfig
+from .spec import ScenarioSpec
+
+#: Default strategy panel for sweeps: the paper's SSP contenders plus the
+#: DIV-family combination (PSP side active on parallel structures).
+DEFAULT_STRATEGIES: Tuple[str, ...] = ("UD", "EQS", "EQF", "EQF-DIV1")
+
+
+@dataclass(frozen=True)
+class ScenarioCell:
+    """One (scenario, strategy) cell of a scenario sweep."""
+
+    scenario: str
+    strategy: str
+    estimate: PointEstimate
+
+
+@dataclass(frozen=True)
+class ScenarioSweepResult:
+    """All cells of a scenario x strategy sweep plus ranking/rendering."""
+
+    scenarios: Sequence[str]
+    strategies: Sequence[str]
+    cells: Sequence[ScenarioCell]
+    seed: int
+
+    def cell(self, scenario: str, strategy: str) -> ScenarioCell:
+        for cell in self.cells:
+            if cell.scenario == scenario and cell.strategy == strategy:
+                return cell
+        raise KeyError(
+            f"no cell for scenario={scenario!r}, strategy={strategy!r}"
+        )
+
+    def ranking(self, scenario: str) -> List[ScenarioCell]:
+        """Strategies of one scenario, best (lowest ``MD_global``) first.
+
+        The missed-deadline ratio of global tasks is the paper's primary
+        measure; ``nan`` (nothing finished) sorts last.
+        """
+        cells = [c for c in self.cells if c.scenario == scenario]
+        if not cells:
+            raise KeyError(f"unknown scenario {scenario!r}")
+
+        def key(cell: ScenarioCell) -> float:
+            value = cell.estimate.md_global.mean
+            return math.inf if math.isnan(value) else value
+
+        return sorted(cells, key=key)
+
+    def best_strategy(self, scenario: str) -> str:
+        """Name of the strategy with the lowest global miss ratio."""
+        return self.ranking(scenario)[0].strategy
+
+    def table(self) -> str:
+        """Render the per-scenario strategy ranking as one table."""
+        headers = [
+            "scenario", "rank", "strategy", "MD_global", "MD_local", "gap",
+        ]
+        rows: List[List[object]] = []
+        for scenario in self.scenarios:
+            for rank, cell in enumerate(self.ranking(scenario), start=1):
+                estimate = cell.estimate
+                rows.append([
+                    scenario if rank == 1 else "",
+                    rank,
+                    cell.strategy,
+                    format_percent(estimate.md_global.mean),
+                    format_percent(estimate.md_local.mean),
+                    format_percent(estimate.gap),
+                ])
+        return render_table(
+            headers,
+            rows,
+            title=(
+                "Scenario sweep: strategies ranked by global "
+                f"missed-deadline ratio (base seed {self.seed})"
+            ),
+        )
+
+
+def scenario_grid_configs(
+    specs: Sequence[ScenarioSpec],
+    strategies: Sequence[str],
+    scale: RunScale = QUICK,
+    seed: int = 1,
+) -> List[SystemConfig]:
+    """The per-cell configs of a scenario sweep (flattened, row-major)."""
+    configs: List[SystemConfig] = []
+    for si, spec in enumerate(specs):
+        for ti, strategy in enumerate(strategies):
+            configs.append(
+                scale.apply(
+                    spec.to_config(
+                        strategy=strategy, seed=seed + 1_000 * si + ti
+                    )
+                )
+            )
+    return configs
+
+
+def run_scenario(
+    spec: ScenarioSpec,
+    strategy: str = "UD",
+    scale: RunScale = QUICK,
+    seed: int = 1,
+    workers: int = 1,
+    batch_size: int = 0,
+) -> PointEstimate:
+    """Run one scenario under one strategy (replicated per the scale)."""
+    config = scale.apply(spec.to_config(strategy=strategy, seed=seed))
+    return replicate(
+        config,
+        replications=scale.replications,
+        workers=workers,
+        batch_size=batch_size,
+    )
+
+
+def run_scenario_sweep(
+    specs: Sequence[ScenarioSpec],
+    strategies: Sequence[str] = DEFAULT_STRATEGIES,
+    scale: RunScale = QUICK,
+    seed: int = 1,
+    workers: int = 1,
+    batch_size: int = 0,
+    runner: Optional[object] = None,
+) -> ScenarioSweepResult:
+    """Run the full scenario x strategy x replication grid.
+
+    ``workers`` (``0`` = all cores) fans the flattened grid over one
+    process pool in warm-interpreter batches of ``batch_size`` runs
+    (``0`` = auto); results are deterministic regardless of either knob.
+    ``runner`` may be injected for tests (serial, as in ``run_grid``).
+    """
+    if not specs:
+        raise ValueError("need at least one scenario")
+    if not strategies:
+        raise ValueError("need at least one strategy")
+    configs = scenario_grid_configs(specs, strategies, scale, seed)
+    estimates = run_grid(
+        configs,
+        scale.replications,
+        workers=workers,
+        batch_size=batch_size,
+        runner=runner,
+    )
+    cells = [
+        ScenarioCell(
+            scenario=spec.name, strategy=strategy, estimate=estimate
+        )
+        for (spec, strategy), estimate in zip(
+            ((s, t) for s in specs for t in strategies), estimates
+        )
+    ]
+    return ScenarioSweepResult(
+        scenarios=[spec.name for spec in specs],
+        strategies=list(strategies),
+        cells=cells,
+        seed=seed,
+    )

@@ -40,8 +40,14 @@ from ..sim.distributions import (
     Deterministic,
     DiscreteUniform,
     Distribution,
+    Hyperexponential,
+    Lognormal,
+    MMPP2Interarrival,
+    Pareto,
     Uniform,
+    exponential_interarrival,
 )
+from .placement import PLACEMENT_POLICIES
 
 #: Task-structure selectors (which experiment family a config runs).
 SERIAL = "serial"
@@ -49,6 +55,17 @@ PARALLEL = "parallel"
 SERIAL_PARALLEL = "serial-parallel"
 
 _STRUCTURES = (SERIAL, PARALLEL, SERIAL_PARALLEL)
+
+#: Arrival-process selectors (scenario subsystem; "poisson" is the paper).
+_ARRIVAL_MODELS = ("poisson", "hyperexp", "mmpp2")
+
+#: Service-time selectors (scenario subsystem; "exponential" is the paper).
+_SERVICE_MODELS = ("exponential", "pareto", "lognormal")
+
+#: Subtask placement selectors (scenario subsystem; "uniform" is the
+#: paper).  Aliased from the policy module that implements them, so the
+#: validated names and the wired policies cannot drift apart.
+_PLACEMENT_MODELS = PLACEMENT_POLICIES
 
 
 def harmonic(n: int) -> float:
@@ -121,6 +138,41 @@ class SystemConfig:
     #: means homogeneous.  Weights are normalized; total local load is kept.
     local_load_weights: Optional[Tuple[float, ...]] = None
 
+    # -- scenario dimensions (repro.scenarios; defaults = the paper) ----------
+    #: Arrival-process family for local and global streams: "poisson"
+    #: (the paper), "hyperexp" (bursty, CV^2 > 1), or "mmpp2" (2-state
+    #: Markov-modulated bursts).
+    arrival_model: str = "poisson"
+    #: Squared coefficient of variation of hyperexponential interarrivals.
+    arrival_cv2: float = 1.0
+    #: MMPP2: arrival-rate multiplier of the burst state (>= 1).
+    arrival_burst_ratio: float = 4.0
+    #: MMPP2: stationary fraction of time spent in the burst state.
+    arrival_burst_fraction: float = 0.2
+    #: MMPP2: mean duration of one calm+burst cycle (simulated time).
+    arrival_cycle_time: float = 200.0
+    #: Service-time family for local tasks and subtasks: "exponential"
+    #: (the paper), "pareto", or "lognormal".  Means are pinned to
+    #: ``1/mu`` so the load arithmetic is unchanged.
+    service_model: str = "exponential"
+    #: Pareto shape (tail index) when ``service_model == "pareto"``.
+    service_shape: float = 2.2
+    #: Log-space sigma when ``service_model == "lognormal"``.
+    service_sigma: float = 1.0
+    #: Subtask placement policy: "uniform" (the paper), "round-robin",
+    #: "zipf" (hotspot), or "least-outstanding" (join-shortest-queue).
+    placement: str = "uniform"
+    #: Zipf skew exponent when ``placement == "zipf"`` (0 = uniform).
+    placement_zipf_s: float = 1.0
+    #: Optional per-node service-speed factors (heterogeneous hardware):
+    #: node ``i`` serves in ``ex / factor_i`` time.  ``None`` = homogeneous.
+    node_speed_factors: Optional[Tuple[float, ...]] = None
+    #: Optional piecewise time-varying load: ``((duration_fraction,
+    #: rate_multiplier), ...)`` segments spanning ``sim_time`` in order;
+    #: arrival rates are scaled by the active segment's multiplier (the
+    #: last segment persists past the end).  ``None`` = stationary.
+    load_profile: Optional[Tuple[Tuple[float, float], ...]] = None
+
     # -- run control ----------------------------------------------------------
     #: Length of one run in simulated time units (the paper used 1e6).
     sim_time: float = 20_000.0
@@ -178,6 +230,109 @@ class SystemConfig:
                 raise ValueError("local load weights must be non-negative")
             if sum(self.local_load_weights) == 0:
                 raise ValueError("local load weights must not all be zero")
+        if self.arrival_model not in _ARRIVAL_MODELS:
+            raise ValueError(
+                f"unknown arrival_model {self.arrival_model!r}; "
+                f"expected one of {_ARRIVAL_MODELS}"
+            )
+        if self.arrival_model == "hyperexp" and self.arrival_cv2 < 1.0:
+            raise ValueError(
+                f"arrival_cv2 must be >= 1 for hyperexp, got {self.arrival_cv2}"
+            )
+        if self.arrival_model == "mmpp2":
+            if self.arrival_burst_ratio < 1.0:
+                raise ValueError(
+                    f"arrival_burst_ratio must be >= 1, got "
+                    f"{self.arrival_burst_ratio}"
+                )
+            if not 0.0 < self.arrival_burst_fraction < 1.0:
+                raise ValueError(
+                    f"arrival_burst_fraction must lie in (0, 1), got "
+                    f"{self.arrival_burst_fraction}"
+                )
+            if self.arrival_cycle_time <= 0:
+                raise ValueError(
+                    f"arrival_cycle_time must be positive, got "
+                    f"{self.arrival_cycle_time}"
+                )
+        if self.service_model not in _SERVICE_MODELS:
+            raise ValueError(
+                f"unknown service_model {self.service_model!r}; "
+                f"expected one of {_SERVICE_MODELS}"
+            )
+        if self.service_model == "pareto" and self.service_shape <= 1.0:
+            raise ValueError(
+                f"service_shape must exceed 1, got {self.service_shape}"
+            )
+        if self.service_model == "lognormal" and self.service_sigma <= 0:
+            raise ValueError(
+                f"service_sigma must be positive, got {self.service_sigma}"
+            )
+        if self.placement not in _PLACEMENT_MODELS:
+            raise ValueError(
+                f"unknown placement {self.placement!r}; "
+                f"expected one of {_PLACEMENT_MODELS}"
+            )
+        if self.placement == "zipf" and not (
+            math.isfinite(self.placement_zipf_s) and self.placement_zipf_s >= 0
+        ):
+            raise ValueError(
+                f"placement_zipf_s must be finite and non-negative, got "
+                f"{self.placement_zipf_s}"
+            )
+        if self.node_speed_factors is not None:
+            if len(self.node_speed_factors) != self.node_count:
+                raise ValueError(
+                    "node_speed_factors must have one factor per node "
+                    f"({self.node_count}), got {len(self.node_speed_factors)}"
+                )
+            # NOT-greater-than comparisons, so NaN factors are rejected
+            # too (NaN would otherwise slip past `f <= 0` and poison the
+            # event clock via ex / speed).
+            if not all(
+                math.isfinite(f) and f > 0 for f in self.node_speed_factors
+            ):
+                raise ValueError(
+                    f"node speed factors must be finite and positive, got "
+                    f"{self.node_speed_factors}"
+                )
+            if self.preemptive:
+                raise ValueError(
+                    "node_speed_factors are not supported with preemptive "
+                    "nodes (remaining-demand bookkeeping assumes unit speed)"
+                )
+        if self.load_profile is not None:
+            if not self.load_profile:
+                raise ValueError("load_profile must have at least one segment")
+            for segment in self.load_profile:
+                if len(segment) != 2:
+                    raise ValueError(
+                        f"load_profile segments are (duration_fraction, "
+                        f"multiplier) pairs, got {segment!r}"
+                    )
+                fraction, multiplier = segment
+                if not (math.isfinite(fraction) and fraction > 0):
+                    raise ValueError(
+                        f"load_profile duration fractions must be finite "
+                        f"and positive, got {fraction}"
+                    )
+                if not (math.isfinite(multiplier) and multiplier > 0):
+                    raise ValueError(
+                        f"load_profile multipliers must be finite and "
+                        f"positive, got {multiplier}"
+                    )
+            total = sum(fraction for fraction, _ in self.load_profile)
+            if not math.isclose(total, 1.0, rel_tol=1e-9, abs_tol=1e-9):
+                raise ValueError(
+                    f"load_profile duration fractions must sum to 1, got "
+                    f"{total}"
+                )
+        if self.peak_load >= 1.0 and self.load > 0:
+            raise ValueError(
+                f"peak normalized load {self.peak_load:.3f} >= 1 "
+                "(unstable): lower load, flatten the load_profile, or "
+                "raise the slowest node's speed factor"
+            )
         if self.task_structure == PARALLEL and (
             self.subtask_count > self.node_count
         ):
@@ -258,13 +413,53 @@ class SystemConfig:
         mean_local_ex = 1.0 / self.mu_local
         return self.rel_flex * self.mean_critical_path / mean_local_ex
 
+    @property
+    def peak_load(self) -> float:
+        """Worst-case normalized load over time and nodes.
+
+        A conservative stability bound for the scenario dimensions: the
+        stationary ``load`` scaled by the largest load-profile multiplier
+        and divided by the slowest node's speed factor.  Equals ``load``
+        for the paper's homogeneous stationary model; library scenarios
+        are validated to keep this below 1.
+        """
+        peak = self.load
+        if self.load_profile is not None:
+            peak *= max(multiplier for _, multiplier in self.load_profile)
+        if self.node_speed_factors is not None:
+            peak /= min(self.node_speed_factors)
+        return peak
+
     # -- distribution builders ---------------------------------------------
 
     def local_execution_distribution(self) -> Distribution:
-        return _exponential_with_rate(self.mu_local)
+        return self._execution_distribution(self.mu_local)
 
     def subtask_execution_distribution(self) -> Distribution:
-        return _exponential_with_rate(self.mu_subtask)
+        return self._execution_distribution(self.mu_subtask)
+
+    def _execution_distribution(self, rate: float) -> Distribution:
+        """Service-time distribution with mean ``1/rate`` per the scenario
+        service model (the mean is pinned so load arithmetic holds)."""
+        if self.service_model == "pareto":
+            return Pareto(1.0 / rate, self.service_shape)
+        if self.service_model == "lognormal":
+            return Lognormal(1.0 / rate, self.service_sigma)
+        return _exponential_with_rate(rate)
+
+    def interarrival_distribution(self, rate: float) -> Distribution:
+        """Interarrival distribution for a stream of mean rate ``rate``
+        per the scenario arrival model ("poisson" is the paper)."""
+        if self.arrival_model == "hyperexp":
+            return Hyperexponential(1.0 / rate, self.arrival_cv2)
+        if self.arrival_model == "mmpp2":
+            return MMPP2Interarrival(
+                1.0 / rate,
+                self.arrival_burst_ratio,
+                self.arrival_burst_fraction,
+                self.arrival_cycle_time,
+            )
+        return exponential_interarrival(rate)
 
     def local_slack_distribution(self) -> Uniform:
         return Uniform(*self.slack_range)

@@ -49,9 +49,17 @@ class Node:
         policy: SchedulingPolicy,
         metrics: MetricsCollector,
         overload_policy: Optional[OverloadPolicy] = None,
+        speed: float = 1.0,
     ) -> None:
+        if speed <= 0:
+            raise ValueError(f"node speed must be positive, got {speed}")
         self.env = env
         self.index = index
+        #: Service-speed factor (heterogeneous-hardware scenarios): a unit
+        #: with demand ``ex`` occupies the server for ``ex / speed``.  The
+        #: homogeneous baseline keeps the exact ``timing.ex`` sleep (no
+        #: division), so fixed-seed results are bit-identical.
+        self.speed = speed
         self.queue = ReadyQueue(policy)
         self.metrics = metrics
         self.overload_policy = overload_policy or NoAbort()
@@ -209,7 +217,9 @@ class Node:
             timing.started_at = now
             if metrics._tracer is not None:
                 metrics._tracer.record(now, "dispatch", unit, index)
-            env._sleep(timing.ex).callbacks.append(self._on_complete)
+            speed = self.speed
+            service = timing.ex if speed == 1.0 else timing.ex / speed
+            env._sleep(service).callbacks.append(self._on_complete)
             return
 
     def _complete(self, _event) -> None:

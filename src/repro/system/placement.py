@@ -1,0 +1,225 @@
+"""Subtask placement policies (where a global task's subtasks execute).
+
+The paper picks execution nodes uniformly at random -- with replacement
+for serial chains, without replacement within a parallel fan (Sec. 5.2).
+The scenario subsystem generalizes this into pluggable policies:
+
+* :class:`UniformPlacement`      -- the paper's baseline, preserved draw
+  for draw (same stream, same calls), so fixed-seed results are
+  bit-identical to the pre-policy code;
+* :class:`RoundRobinPlacement`   -- deterministic rotation, no randomness;
+* :class:`ZipfPlacement`         -- skewed popularity: node ``i`` is hit
+  with probability proportional to ``1 / (i + 1)^s`` (a hotspot model);
+* :class:`LeastOutstandingPlacement` -- join-the-shortest-queue routing on
+  the current outstanding work (queue length + in-service), random
+  tie-breaks.
+
+RNG-stream isolation rule: every policy that consumes randomness owns a
+*named* stream.  Uniform keeps the historical ``"global-route"`` name;
+new policies use fresh names (``"placement-zipf"``, ``"placement-lo"``)
+so that enabling them never perturbs the draw sequences of existing
+streams -- adding scenarios must not move fixed-seed baseline results.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_right
+from typing import List, Sequence
+
+from ..sim.rng import StreamFactory
+
+#: Policy-name constants (mirrored by ``SystemConfig.placement``).
+UNIFORM = "uniform"
+ROUND_ROBIN = "round-robin"
+ZIPF = "zipf"
+LEAST_OUTSTANDING = "least-outstanding"
+
+PLACEMENT_POLICIES = (UNIFORM, ROUND_ROBIN, ZIPF, LEAST_OUTSTANDING)
+
+
+class PlacementPolicy:
+    """Chooses execution nodes for the subtasks of global tasks."""
+
+    #: Human-readable policy name.
+    name: str = "abstract"
+
+    def pick_one(self) -> int:
+        """Node index for one serial-stage subtask."""
+        raise NotImplementedError
+
+    def pick_distinct(self, count: int) -> List[int]:
+        """``count`` *distinct* node indices for one parallel fan."""
+        raise NotImplementedError
+
+
+class UniformPlacement(PlacementPolicy):
+    """The paper's uniform-random placement (the baseline policy).
+
+    Draws come from the historical ``"global-route"`` stream via exactly
+    the calls the factories used to make (``randrange`` per serial stage,
+    ``sample`` per fan), keeping golden fixed-seed results bit-identical.
+    """
+
+    name = UNIFORM
+
+    def __init__(self, node_count: int, streams: StreamFactory) -> None:
+        self.node_count = node_count
+        self._stream = streams.get("global-route")
+
+    def pick_one(self) -> int:
+        return self._stream.randrange(self.node_count)
+
+    def pick_distinct(self, count: int) -> List[int]:
+        return self._stream.sample(range(self.node_count), count)
+
+
+class RoundRobinPlacement(PlacementPolicy):
+    """Deterministic rotation over the nodes; consumes no randomness."""
+
+    name = ROUND_ROBIN
+
+    def __init__(self, node_count: int) -> None:
+        self.node_count = node_count
+        self._cursor = 0
+
+    def pick_one(self) -> int:
+        index = self._cursor
+        self._cursor = (index + 1) % self.node_count
+        return index
+
+    def pick_distinct(self, count: int) -> List[int]:
+        if count > self.node_count:
+            raise ValueError(
+                f"cannot pick {count} distinct nodes from {self.node_count}"
+            )
+        # Consecutive indices mod node_count are distinct for count <= k.
+        return [self.pick_one() for _ in range(count)]
+
+
+class ZipfPlacement(PlacementPolicy):
+    """Zipf-skewed hotspot placement: low-index nodes absorb most work.
+
+    Node ``i`` is selected with probability proportional to
+    ``1 / (i + 1)^s``; ``s = 0`` degenerates to uniform, larger ``s``
+    concentrates load.  Distinct picks use rejection against the already
+    chosen set (cheap: fans are small).
+    """
+
+    name = ZIPF
+
+    def __init__(
+        self, node_count: int, s: float, streams: StreamFactory
+    ) -> None:
+        if s < 0:
+            raise ValueError(f"zipf exponent must be non-negative, got {s}")
+        self.node_count = node_count
+        self.s = s
+        self._stream = streams.get("placement-zipf")
+        # Log-space form of 1 / (i + 1)^s: underflows smoothly to 0.0 at
+        # extreme exponents where the direct power would overflow.
+        self._weights = [
+            math.exp(-s * math.log(i + 1)) for i in range(node_count)
+        ]
+        total = sum(self._weights)
+        cumulative: List[float] = []
+        acc = 0.0
+        for w in self._weights:
+            acc += w / total
+            cumulative.append(acc)
+        cumulative[-1] = 1.0  # guard against float drift
+        self._cdf = cumulative
+
+    def pick_one(self) -> int:
+        return bisect_right(self._cdf, self._stream.random())
+
+    def pick_distinct(self, count: int) -> List[int]:
+        if count > self.node_count:
+            raise ValueError(
+                f"cannot pick {count} distinct nodes from {self.node_count}"
+            )
+        # Weighted sampling without replacement by renormalizing over the
+        # remaining nodes: exactly one draw per pick, so a heavily skewed
+        # tail (tiny or even underflowed-to-zero weights at extreme ``s``)
+        # cannot stall the sampler the way rejection sampling would.
+        weights = self._weights
+        remaining = list(range(self.node_count))
+        chosen: List[int] = []
+        for _ in range(count):
+            total = 0.0
+            for index in remaining:
+                total += weights[index]
+            if total <= 0.0:
+                # Every remaining weight underflowed: the skew is so
+                # extreme any completion order is equivalent; take the
+                # most popular (lowest) index deterministically.
+                position = 0
+            else:
+                threshold = self._stream.random() * total
+                acc = 0.0
+                position = len(remaining) - 1
+                for i, index in enumerate(remaining):
+                    acc += weights[index]
+                    if threshold < acc:
+                        position = i
+                        break
+            chosen.append(remaining.pop(position))
+        return chosen
+
+
+class LeastOutstandingPlacement(PlacementPolicy):
+    """Route to the node with the least outstanding work.
+
+    Outstanding work is the ready-queue length plus the unit in service --
+    the information a real load balancer has without knowing service
+    times.  Ties (common at low load, where everyone is idle) break by a
+    draw from the policy's own ``"placement-lo"`` stream so no node is
+    structurally favored.
+    """
+
+    name = LEAST_OUTSTANDING
+
+    def __init__(self, nodes: Sequence, streams: StreamFactory) -> None:
+        self.nodes = list(nodes)
+        self._stream = streams.get("placement-lo")
+
+    def _outstanding(self) -> List[int]:
+        return [
+            node.queue_length + (1 if node.busy else 0) for node in self.nodes
+        ]
+
+    @staticmethod
+    def _argmins(values: Sequence[int], excluded: set) -> List[int]:
+        best = None
+        ties: List[int] = []
+        for i, v in enumerate(values):
+            if i in excluded:
+                continue
+            if best is None or v < best:
+                best = v
+                ties = [i]
+            elif v == best:
+                ties.append(i)
+        return ties
+
+    def _pick(self, excluded: set) -> int:
+        ties = self._argmins(self._outstanding(), excluded)
+        if len(ties) == 1:
+            return ties[0]
+        return ties[self._stream.randrange(len(ties))]
+
+    def pick_one(self) -> int:
+        return self._pick(set())
+
+    def pick_distinct(self, count: int) -> List[int]:
+        if count > len(self.nodes):
+            raise ValueError(
+                f"cannot pick {count} distinct nodes from {len(self.nodes)}"
+            )
+        chosen: List[int] = []
+        excluded: set = set()
+        for _ in range(count):
+            index = self._pick(excluded)
+            excluded.add(index)
+            chosen.append(index)
+        return chosen

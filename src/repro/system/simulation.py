@@ -19,11 +19,17 @@ from typing import List, Optional
 
 from ..core.strategies import DeadlineAssigner, parse_assigner
 from ..sim.core import Environment
-from ..sim.distributions import exponential_interarrival
 from ..sim.rng import StreamFactory
 from .config import PARALLEL, SERIAL, SERIAL_PARALLEL, SystemConfig
 from .metrics import MetricsCollector, RunResult
 from .node import Node
+from .placement import (
+    LeastOutstandingPlacement,
+    PlacementPolicy,
+    RoundRobinPlacement,
+    UniformPlacement,
+    ZipfPlacement,
+)
 from .preemptive import PreemptiveNode
 from .overload import get_overload_policy
 from .process_manager import ProcessManager
@@ -34,6 +40,7 @@ from .workload import (
     GlobalTaskSource,
     LocalTaskSource,
     ParallelFanFactory,
+    PiecewiseProfile,
     SerialChainFactory,
     SerialParallelFactory,
 )
@@ -55,17 +62,32 @@ class Simulation:
 
         policy = get_policy(config.scheduler)
         overload = get_overload_policy(config.overload_policy)
-        node_class = PreemptiveNode if config.preemptive else Node
-        self.nodes: List[Node] = [
-            node_class(
-                env=self.env,
-                index=i,
-                policy=policy,
-                metrics=self.metrics,
-                overload_policy=overload,
-            )
-            for i in range(config.node_count)
-        ]
+        speeds = config.node_speed_factors
+        if config.preemptive:
+            # Speed factors are rejected by config validation for the
+            # preemptive ablation; its constructor takes no speed.
+            self.nodes: List[Node] = [
+                PreemptiveNode(
+                    env=self.env,
+                    index=i,
+                    policy=policy,
+                    metrics=self.metrics,
+                    overload_policy=overload,
+                )
+                for i in range(config.node_count)
+            ]
+        else:
+            self.nodes = [
+                Node(
+                    env=self.env,
+                    index=i,
+                    policy=policy,
+                    metrics=self.metrics,
+                    overload_policy=overload,
+                    speed=1.0 if speeds is None else speeds[i],
+                )
+                for i in range(config.node_count)
+            ]
         self.process_manager = ProcessManager(
             env=self.env,
             nodes=self.nodes,
@@ -74,6 +96,11 @@ class Simulation:
         )
 
         estimator = config.make_estimator()
+        profile = (
+            PiecewiseProfile(config.load_profile, config.sim_time)
+            if config.load_profile is not None
+            else None
+        )
         self.local_sources: List[LocalTaskSource] = []
         for node, rate in zip(self.nodes, config.node_local_rates()):
             if rate <= 0:
@@ -82,11 +109,12 @@ class Simulation:
                 LocalTaskSource(
                     env=self.env,
                     node=node,
-                    interarrival=exponential_interarrival(rate),
+                    interarrival=config.interarrival_distribution(rate),
                     execution=config.local_execution_distribution(),
                     slack=config.local_slack_distribution(),
                     streams=self.streams,
                     estimator=estimator,
+                    profile=profile,
                 )
             )
 
@@ -97,13 +125,41 @@ class Simulation:
             self.global_source = GlobalTaskSource(
                 env=self.env,
                 process_manager=self.process_manager,
-                interarrival=exponential_interarrival(global_rate),
+                interarrival=config.interarrival_distribution(global_rate),
                 factory=factory,
                 streams=self.streams,
+                profile=profile,
             )
+
+    def _make_placement(self) -> PlacementPolicy:
+        """Build the configured subtask placement policy.
+
+        The baseline ``"uniform"`` policy reproduces the historical draws
+        from the ``"global-route"`` stream exactly; the other policies use
+        their own named streams (or none), so switching a scenario's
+        placement never perturbs the rest of the workload's randomness.
+        """
+        config = self.config
+        if config.placement == "uniform":
+            return UniformPlacement(config.node_count, self.streams)
+        if config.placement == "round-robin":
+            return RoundRobinPlacement(config.node_count)
+        if config.placement == "zipf":
+            return ZipfPlacement(
+                config.node_count, config.placement_zipf_s, self.streams
+            )
+        if config.placement == "least-outstanding":
+            return LeastOutstandingPlacement(self.nodes, self.streams)
+        # Config validation shares placement.PLACEMENT_POLICIES with this
+        # dispatch; a name validated but not built here is a wiring bug,
+        # not a user error -- never fall back to uniform silently.
+        raise ValueError(
+            f"placement {config.placement!r} validated but not wired"
+        )
 
     def _make_factory(self, estimator) -> GlobalTaskFactory:
         config = self.config
+        placement = self._make_placement()
         if config.task_structure == SERIAL:
             return SerialChainFactory(
                 node_count=config.node_count,
@@ -112,6 +168,7 @@ class Simulation:
                 slack=config.global_slack_distribution(),
                 streams=self.streams,
                 estimator=estimator,
+                placement=placement,
             )
         if config.task_structure == PARALLEL:
             return ParallelFanFactory(
@@ -121,6 +178,7 @@ class Simulation:
                 slack=config.global_slack_distribution(),
                 streams=self.streams,
                 estimator=estimator,
+                placement=placement,
             )
         if config.task_structure == SERIAL_PARALLEL:
             return SerialParallelFactory(
@@ -131,6 +189,7 @@ class Simulation:
                 slack=config.global_slack_distribution(),
                 streams=self.streams,
                 estimator=estimator,
+                placement=placement,
             )
         raise ValueError(f"unknown task structure {config.task_structure!r}")
 

@@ -31,7 +31,8 @@ The SDA strategies, in contrast, only ever see ``pex``.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from bisect import bisect_right
+from typing import List, Optional, Sequence, Tuple
 
 from ..core.estimators import Estimator, PerfectEstimator
 from ..core.task import (
@@ -46,10 +47,54 @@ from ..sim.core import Environment
 from ..sim.distributions import Distribution
 from ..sim.rng import StreamFactory
 from .node import Node
+from .placement import PlacementPolicy, UniformPlacement
 from .process_manager import ProcessManager
 from .work import WorkUnit
 
 _LOCAL = TaskClass.LOCAL
+
+
+class PiecewiseProfile:
+    """Piecewise-constant load multiplier over a run (scenario subsystem).
+
+    Built from ``((duration_fraction, multiplier), ...)`` segments spanning
+    ``sim_time`` in order; calling the profile at time ``t`` returns the
+    active segment's multiplier (the last segment persists past the end).
+    Arrival sources divide each interarrival gap by the multiplier at the
+    moment the gap is scheduled, approximating a piecewise-constant-rate
+    arrival process while consuming exactly one base draw per arrival --
+    the base streams stay aligned with the stationary model's.
+    """
+
+    def __init__(
+        self, segments: Sequence[Tuple[float, float]], sim_time: float
+    ) -> None:
+        if not segments:
+            raise ValueError("profile needs at least one segment")
+        if sim_time <= 0:
+            raise ValueError(f"sim_time must be positive, got {sim_time}")
+        bounds: List[float] = []
+        multipliers: List[float] = []
+        elapsed = 0.0
+        for fraction, multiplier in segments:
+            if fraction <= 0 or multiplier <= 0:
+                raise ValueError(
+                    f"segments need positive fraction and multiplier, got "
+                    f"({fraction}, {multiplier})"
+                )
+            elapsed += fraction * sim_time
+            bounds.append(elapsed)
+            multipliers.append(multiplier)
+        self._bounds = bounds
+        self._multipliers = multipliers
+
+    def __call__(self, t: float) -> float:
+        """Multiplier in effect at time ``t``."""
+        index = bisect_right(self._bounds, t)
+        multipliers = self._multipliers
+        if index >= len(multipliers):
+            return multipliers[-1]
+        return multipliers[index]
 
 
 class LocalTaskSource:
@@ -81,6 +126,7 @@ class LocalTaskSource:
         "_submit",
         "_node_index",
         "_on_arrive",
+        "_profile",
     )
 
     def __init__(
@@ -92,6 +138,7 @@ class LocalTaskSource:
         slack: Distribution,
         streams: StreamFactory,
         estimator: Optional[Estimator] = None,
+        profile: Optional[PiecewiseProfile] = None,
     ) -> None:
         self.env = env
         self.node = node
@@ -114,8 +161,16 @@ class LocalTaskSource:
         )
         self._submit = node.submit_nowait
         self._node_index = node.index
-        self._on_arrive = self._arrive  # bound once; reused per arrival
-        env._sleep(self._next_interarrival()).callbacks.append(self._on_arrive)
+        self._profile = profile
+        # Bound once; reused per arrival.  The stationary path keeps the
+        # original callback untouched (zero overhead when no profile).
+        self._on_arrive = (
+            self._arrive if profile is None else self._arrive_modulated
+        )
+        gap = self._next_interarrival()
+        if profile is not None:
+            gap /= profile(env._now)
+        env._sleep(gap).callbacks.append(self._on_arrive)
 
     def _arrive(self, _event) -> None:
         """Generate one local task, then schedule the next arrival."""
@@ -140,6 +195,29 @@ class LocalTaskSource:
             WorkUnit(env, None, _LOCAL, self._node_index, timing)
         )
         env._sleep(self._next_interarrival()).callbacks.append(self._on_arrive)
+
+    def _arrive_modulated(self, _event) -> None:
+        """Like :meth:`_arrive`, with the next gap scaled by the load
+        profile's multiplier at the current instant (time-varying load)."""
+        env = self.env
+        self.generated += 1
+        ex = self._next_execution()
+        slack = self._next_slack()
+        predict = self._predict
+        ar = env._now
+        timing = TimingRecord.__new__(TimingRecord)
+        timing.ar = ar
+        timing.ex = ex
+        timing.pex = ex if predict is None else predict(ex, self._estimate_stream)
+        timing.dl = ar + ex + slack
+        timing.completed_at = None
+        timing.started_at = None
+        timing.aborted = False
+        self._submit(
+            WorkUnit(env, None, _LOCAL, self._node_index, timing)
+        )
+        gap = self._next_interarrival() / self._profile(ar)
+        env._sleep(gap).callbacks.append(self._on_arrive)
 
 
 class GlobalTaskFactory:
@@ -171,6 +249,7 @@ class SerialChainFactory(GlobalTaskFactory):
         slack: Distribution,
         streams: StreamFactory,
         estimator: Optional[Estimator] = None,
+        placement: Optional[PlacementPolicy] = None,
     ) -> None:
         if node_count < 1:
             raise ValueError(f"need at least one node, got {node_count}")
@@ -179,11 +258,12 @@ class SerialChainFactory(GlobalTaskFactory):
         self.execution = execution
         self.slack = slack
         self.estimator = estimator or PerfectEstimator()
+        self.placement = placement or UniformPlacement(node_count, streams)
         self.mean_subtask_count = float(count.mean)
         self._count_stream = streams.get("global-count")
         self._execution_stream = streams.get("global-execution")
         self._slack_stream = streams.get("global-slack")
-        self._route_stream = streams.get("global-route")
+        self._pick_one = self.placement.pick_one
         self._estimate_stream = streams.get("global-estimate")
         self._next_count = count.bind(self._count_stream)
         self._next_execution = execution.bind(self._execution_stream)
@@ -208,7 +288,7 @@ class SerialChainFactory(GlobalTaskFactory):
         return SimpleTask(
             ex=ex,
             pex=ex if predict is None else predict(ex, self._estimate_stream),
-            node_index=self._route_stream.randrange(self.node_count),
+            node_index=self._pick_one(),
             name=f"stage-{index}",
         )
 
@@ -229,6 +309,7 @@ class ParallelFanFactory(GlobalTaskFactory):
         slack: Distribution,
         streams: StreamFactory,
         estimator: Optional[Estimator] = None,
+        placement: Optional[PlacementPolicy] = None,
     ) -> None:
         if fan_out < 1:
             raise ValueError(f"fan-out must be >= 1, got {fan_out}")
@@ -242,10 +323,11 @@ class ParallelFanFactory(GlobalTaskFactory):
         self.execution = execution
         self.slack = slack
         self.estimator = estimator or PerfectEstimator()
+        self.placement = placement or UniformPlacement(node_count, streams)
         self.mean_subtask_count = float(fan_out)
         self._execution_stream = streams.get("global-execution")
         self._slack_stream = streams.get("global-slack")
-        self._route_stream = streams.get("global-route")
+        self._pick_distinct = self.placement.pick_distinct
         self._estimate_stream = streams.get("global-estimate")
         self._next_execution = execution.bind(self._execution_stream)
         self._next_slack = slack.bind(self._slack_stream)
@@ -254,7 +336,7 @@ class ParallelFanFactory(GlobalTaskFactory):
         )
 
     def build(self, now: float) -> Tuple[TaskNode, float]:
-        nodes = self._route_stream.sample(range(self.node_count), self.fan_out)
+        nodes = self._pick_distinct(self.fan_out)
         predict = self._predict
         leaves = []
         for i, node_index in enumerate(nodes):
@@ -294,6 +376,7 @@ class SerialParallelFactory(GlobalTaskFactory):
         slack: Distribution,
         streams: StreamFactory,
         estimator: Optional[Estimator] = None,
+        placement: Optional[PlacementPolicy] = None,
     ) -> None:
         if stages < 1:
             raise ValueError(f"need at least one stage, got {stages}")
@@ -309,10 +392,11 @@ class SerialParallelFactory(GlobalTaskFactory):
         self.execution = execution
         self.slack = slack
         self.estimator = estimator or PerfectEstimator()
+        self.placement = placement or UniformPlacement(node_count, streams)
         self.mean_subtask_count = float(stages * width)
         self._execution_stream = streams.get("global-execution")
         self._slack_stream = streams.get("global-slack")
-        self._route_stream = streams.get("global-route")
+        self._pick_distinct = self.placement.pick_distinct
         self._estimate_stream = streams.get("global-estimate")
         self._next_execution = execution.bind(self._execution_stream)
         self._next_slack = slack.bind(self._slack_stream)
@@ -325,9 +409,7 @@ class SerialParallelFactory(GlobalTaskFactory):
         stage_nodes: List[TaskNode] = []
         for s in range(self.stages):
             leaves = []
-            node_indices = self._route_stream.sample(
-                range(self.node_count), self.width
-            )
+            node_indices = self._pick_distinct(self.width)
             for b, node_index in enumerate(node_indices):
                 ex = self._next_execution()
                 leaves.append(
@@ -372,6 +454,7 @@ class GlobalTaskSource:
         "_build",
         "_submit",
         "_on_arrive",
+        "_profile",
     )
 
     def __init__(
@@ -381,6 +464,7 @@ class GlobalTaskSource:
         interarrival: Distribution,
         factory: GlobalTaskFactory,
         streams: StreamFactory,
+        profile: Optional[PiecewiseProfile] = None,
     ) -> None:
         self.env = env
         self.process_manager = process_manager
@@ -391,8 +475,15 @@ class GlobalTaskSource:
         self._next_interarrival = interarrival.bind(self._arrival_stream)
         self._build = factory.build
         self._submit = process_manager.submit_nowait
-        self._on_arrive = self._arrive  # bound once; reused per arrival
-        env._sleep(self._next_interarrival()).callbacks.append(self._on_arrive)
+        self._profile = profile
+        # Bound once; the stationary path keeps the original callback.
+        self._on_arrive = (
+            self._arrive if profile is None else self._arrive_modulated
+        )
+        gap = self._next_interarrival()
+        if profile is not None:
+            gap /= profile(env._now)
+        env._sleep(gap).callbacks.append(self._on_arrive)
 
     def _arrive(self, _event) -> None:
         """Launch one global task, then schedule the next arrival."""
@@ -401,3 +492,14 @@ class GlobalTaskSource:
         tree, deadline = self._build(env._now)
         self._submit(tree, deadline)
         env._sleep(self._next_interarrival()).callbacks.append(self._on_arrive)
+
+    def _arrive_modulated(self, _event) -> None:
+        """Like :meth:`_arrive`, with the next gap scaled by the load
+        profile's multiplier at the current instant (time-varying load)."""
+        env = self.env
+        self.generated += 1
+        now = env._now
+        tree, deadline = self._build(now)
+        self._submit(tree, deadline)
+        gap = self._next_interarrival() / self._profile(now)
+        env._sleep(gap).callbacks.append(self._on_arrive)

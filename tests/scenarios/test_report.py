@@ -1,0 +1,108 @@
+"""Tests for the scenario sweep runner and ranking report."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.runner import RunScale
+from repro.scenarios import (
+    ScenarioSpec,
+    get_scenario,
+    run_scenario_sweep,
+    scenario_grid_configs,
+)
+
+TINY = RunScale(sim_time=800.0, warmup_time=100.0, replications=1, label="tiny")
+
+SPECS = (get_scenario("baseline"), get_scenario("smart-routing"))
+STRATEGIES = ("UD", "EQF")
+
+
+@pytest.fixture(scope="module")
+def sweep_result():
+    return run_scenario_sweep(SPECS, STRATEGIES, scale=TINY, seed=11)
+
+
+class TestGridConfigs:
+    def test_row_major_and_scale_applied(self):
+        configs = scenario_grid_configs(SPECS, STRATEGIES, TINY, seed=11)
+        assert len(configs) == 4
+        assert [c.strategy for c in configs] == ["UD", "EQF", "UD", "EQF"]
+        assert all(c.sim_time == TINY.sim_time for c in configs)
+
+    def test_cells_get_distinct_seeds(self):
+        configs = scenario_grid_configs(SPECS, STRATEGIES, TINY, seed=11)
+        seeds = [c.seed for c in configs]
+        assert len(set(seeds)) == len(seeds)
+        assert seeds[0] == 11
+        assert seeds[2] == 1_011  # scenario index advances by 1_000
+
+
+class TestSweepResult:
+    def test_every_cell_present(self, sweep_result):
+        for spec in SPECS:
+            for strategy in STRATEGIES:
+                cell = sweep_result.cell(spec.name, strategy)
+                assert cell.scenario == spec.name
+                assert cell.strategy == strategy
+
+    def test_missing_cell_raises(self, sweep_result):
+        with pytest.raises(KeyError):
+            sweep_result.cell("baseline", "nope")
+
+    def test_ranking_sorted_by_global_miss_ratio(self, sweep_result):
+        for spec in SPECS:
+            ranked = sweep_result.ranking(spec.name)
+            values = [cell.estimate.md_global.mean for cell in ranked]
+            assert values == sorted(values)
+
+    def test_best_strategy_is_rank_one(self, sweep_result):
+        for spec in SPECS:
+            assert (
+                sweep_result.best_strategy(spec.name)
+                == sweep_result.ranking(spec.name)[0].strategy
+            )
+
+    def test_unknown_scenario_raises(self, sweep_result):
+        with pytest.raises(KeyError):
+            sweep_result.ranking("no-such")
+
+    def test_table_lists_scenarios_ranks_and_seed(self, sweep_result):
+        table = sweep_result.table()
+        for spec in SPECS:
+            assert spec.name in table
+        assert "MD_global" in table
+        assert "seed 11" in table
+
+    def test_deterministic_across_invocations(self, sweep_result):
+        again = run_scenario_sweep(SPECS, STRATEGIES, scale=TINY, seed=11)
+        for cell, cell2 in zip(sweep_result.cells, again.cells):
+            assert cell.estimate.md_global.mean == cell2.estimate.md_global.mean
+            assert cell.estimate.md_local.mean == cell2.estimate.md_local.mean
+
+
+class TestValidation:
+    def test_empty_specs_rejected(self):
+        with pytest.raises(ValueError):
+            run_scenario_sweep([], STRATEGIES, scale=TINY)
+
+    def test_empty_strategies_rejected(self):
+        with pytest.raises(ValueError):
+            run_scenario_sweep(SPECS, [], scale=TINY)
+
+
+class TestInjectedRunner:
+    def test_runner_sees_every_grid_cell(self):
+        seen = []
+
+        def fake_runner(config):
+            seen.append(config)
+            from repro.system.simulation import Simulation
+
+            return Simulation(config.with_(sim_time=400.0, warmup_time=50.0)).run()
+
+        specs = (ScenarioSpec(name="one"),)
+        run_scenario_sweep(
+            specs, ("UD", "EQF"), scale=TINY, seed=2, runner=fake_runner
+        )
+        assert [c.strategy for c in seen] == ["UD", "EQF"]

@@ -1,0 +1,128 @@
+"""Unit tests for ScenarioSpec (repro.scenarios.spec)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.scenarios import (
+    ArrivalSpec,
+    PlacementSpec,
+    ScenarioSpec,
+    ServiceSpec,
+)
+from repro.system.config import SystemConfig
+
+
+class TestConstruction:
+    def test_defaults_are_the_paper(self):
+        spec = ScenarioSpec(name="plain")
+        assert spec.arrival.model == "poisson"
+        assert spec.service.model == "exponential"
+        assert spec.placement.model == "uniform"
+        assert spec.node_speed_factors is None
+        assert spec.load_profile is None
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            ScenarioSpec(name="")
+
+    def test_base_mapping_normalized_to_sorted_pairs(self):
+        spec = ScenarioSpec(name="s", base={"load": 0.6, "frac_local": 0.5})
+        assert spec.base == (("frac_local", 0.5), ("load", 0.6))
+
+    def test_base_list_values_become_tuples(self):
+        spec = ScenarioSpec(name="s", base={"slack_range": [0.5, 3.0]})
+        assert spec.base == (("slack_range", (0.5, 3.0)),)
+        assert spec.to_config().slack_range == (0.5, 3.0)
+
+    def test_unknown_base_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown SystemConfig field"):
+            ScenarioSpec(name="s", base={"not_a_field": 1})
+
+    def test_dimension_field_in_base_rejected(self):
+        with pytest.raises(ValueError, match="scenario dimension"):
+            ScenarioSpec(name="s", base={"arrival_model": "hyperexp"})
+
+    def test_invalid_dimension_fails_at_definition_time(self):
+        with pytest.raises(ValueError, match="scenario 'bad' is invalid"):
+            ScenarioSpec(name="bad", arrival=ArrivalSpec(model="nope"))
+
+    def test_unstable_profile_rejected(self):
+        with pytest.raises(ValueError, match="invalid"):
+            ScenarioSpec(
+                name="unstable",
+                load_profile=((0.5, 0.5), (0.5, 2.5)),
+                base={"load": 0.5},
+            )
+
+
+class TestToConfig:
+    def test_baseline_reduces_to_plain_config(self):
+        assert ScenarioSpec(name="baseline").to_config() == SystemConfig()
+
+    def test_run_overrides_win_over_base(self):
+        spec = ScenarioSpec(name="s", base={"load": 0.6, "strategy": "UD"})
+        config = spec.to_config(strategy="EQF", seed=9)
+        assert config.load == 0.6
+        assert config.strategy == "EQF"
+        assert config.seed == 9
+
+    def test_dimensions_reach_the_config(self):
+        spec = ScenarioSpec(
+            name="s",
+            arrival=ArrivalSpec(model="hyperexp", cv2=4.0),
+            service=ServiceSpec(model="pareto", shape=2.5),
+            placement=PlacementSpec(model="zipf", zipf_s=0.8),
+            node_speed_factors=(1.0,) * 6,
+            load_profile=((1.0, 1.0),),
+        )
+        config = spec.to_config()
+        assert config.arrival_model == "hyperexp"
+        assert config.arrival_cv2 == 4.0
+        assert config.service_model == "pareto"
+        assert config.service_shape == 2.5
+        assert config.placement == "zipf"
+        assert config.placement_zipf_s == 0.8
+        assert config.node_speed_factors == (1.0,) * 6
+        assert config.load_profile == ((1.0, 1.0),)
+
+
+class TestRoundTrip:
+    def test_json_round_trip_identity(self):
+        spec = ScenarioSpec(
+            name="full",
+            description="all dimensions on",
+            arrival=ArrivalSpec(model="mmpp2", burst_ratio=3.0),
+            service=ServiceSpec(model="lognormal", sigma=1.1),
+            placement=PlacementSpec(model="least-outstanding"),
+            node_speed_factors=(1.2, 1.2, 1.0, 1.0, 0.8, 0.8),
+            load_profile=((0.5, 0.8), (0.5, 1.2)),
+            base={"load": 0.55, "subtask_count_range": (2, 6)},
+        )
+        restored = ScenarioSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert restored == spec
+
+    def test_to_dict_is_json_serializable(self):
+        spec = ScenarioSpec(name="s", node_speed_factors=(1.0,) * 6)
+        json.dumps(spec.to_dict())  # must not raise
+
+    def test_from_dict_tolerates_missing_sections(self):
+        spec = ScenarioSpec.from_dict({"name": "bare"})
+        assert spec == ScenarioSpec(name="bare")
+
+
+class TestDescribe:
+    def test_baseline_describes_itself(self):
+        assert ScenarioSpec(name="b").describe() == "paper baseline"
+
+    def test_dimensions_listed(self):
+        spec = ScenarioSpec(
+            name="s",
+            arrival=ArrivalSpec(model="hyperexp", cv2=2.0),
+            base={"load": 0.55},
+        )
+        described = spec.describe()
+        assert "arrival=hyperexp" in described
+        assert "load=0.55" in described

@@ -178,6 +178,49 @@ class TestPreemptiveNodeGolden:
         assert simulate(config.with_(trace=True)) == preemptive_result
 
 
+class TestScenarioBaselineGolden:
+    """The scenario subsystem's ``baseline`` must reduce to the plain
+    ``SystemConfig`` path *bit for bit*.
+
+    This extends the golden gate over the scenario layer: the placement
+    refactor (UniformPlacement owns the historical "global-route" stream)
+    and the new config dimensions must leave the pinned fixed-seed
+    trajectory untouched, and a default ``ScenarioSpec`` must build a
+    config equal to ``SystemConfig()``.
+    """
+
+    def test_baseline_scenario_config_equals_plain_config(self):
+        from repro.scenarios import get_scenario
+
+        assert get_scenario("baseline").to_config() == baseline_config()
+
+    def test_baseline_scenario_run_is_bit_identical(self, serial_result):
+        from repro.scenarios import get_scenario
+
+        config = get_scenario("baseline").to_config(
+            sim_time=SIM_TIME, warmup_time=WARMUP, seed=42
+        )
+        assert simulate(config) == serial_result
+
+    def test_baseline_scenario_parallel_is_bit_identical(self):
+        from repro.scenarios import get_scenario
+
+        config = get_scenario("baseline").to_config(
+            sim_time=SIM_TIME,
+            warmup_time=WARMUP,
+            seed=7,
+            task_structure="parallel",
+            strategy="DIV-2",
+        )
+        result = simulate(config)
+        assert result.local.completed == 5096
+        assert result.local.missed == 1476
+        assert result.global_.completed == 449
+        assert result.global_.missed == 69
+        assert result.local.mean_response == 2.02008830512072
+        assert result.global_.mean_response == 3.4160475119459655
+
+
 class TestTracingIsObservationOnly:
     """Tracing must never perturb the simulation it observes.
 

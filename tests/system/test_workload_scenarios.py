@@ -1,0 +1,186 @@
+"""Engine-level tests of the scenario workload dimensions.
+
+Covers the pieces :mod:`repro.scenarios` relies on: the piecewise load
+profile, modulated arrival sources, heterogeneous node speeds, and the
+RNG-stream isolation rule (new dimensions must never perturb the draw
+sequences of the baseline streams).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.system.config import baseline_config
+from repro.system.simulation import Simulation, simulate
+from repro.system.workload import PiecewiseProfile
+
+SMOKE = dict(sim_time=2_500.0, warmup_time=250.0)
+
+
+class TestPiecewiseProfile:
+    def test_segment_lookup(self):
+        profile = PiecewiseProfile(((0.25, 0.5), (0.5, 2.0), (0.25, 1.0)), 100.0)
+        assert profile(0.0) == 0.5
+        assert profile(24.9) == 0.5
+        assert profile(25.1) == 2.0
+        assert profile(74.9) == 2.0
+        assert profile(80.0) == 1.0
+
+    def test_last_segment_persists_past_the_end(self):
+        profile = PiecewiseProfile(((1.0, 1.5),), 100.0)
+        assert profile(250.0) == 1.5
+
+    def test_empty_segments_rejected(self):
+        with pytest.raises(ValueError):
+            PiecewiseProfile((), 100.0)
+
+    def test_nonpositive_values_rejected(self):
+        with pytest.raises(ValueError):
+            PiecewiseProfile(((0.5, 0.0), (0.5, 1.0)), 100.0)
+
+
+class TestLoadProfileSimulation:
+    def test_flat_profile_changes_nothing_but_stream_alignment(self):
+        """A constant 1.0 profile consumes the same base draws as the
+        stationary path, so tasks and outcomes are identical."""
+        base = simulate(baseline_config(**SMOKE, seed=21))
+        flat = simulate(
+            baseline_config(**SMOKE, seed=21, load_profile=((1.0, 1.0),))
+        )
+        assert flat == base
+
+    def test_peak_segments_generate_more_arrivals(self):
+        config = baseline_config(**SMOKE, seed=21)
+        surge = config.with_(load_profile=((0.5, 0.5), (0.5, 1.9)))
+        sim_flat = Simulation(config)
+        sim_surge = Simulation(surge)
+        sim_flat.run()
+        sim_surge.run()
+        flat_generated = sum(s.generated for s in sim_flat.local_sources)
+        surge_generated = sum(s.generated for s in sim_surge.local_sources)
+        # Mean multiplier is 1.2: visibly more arrivals than the flat run.
+        assert surge_generated > flat_generated * 1.1
+
+
+class TestNodeSpeeds:
+    def test_speed_scales_service_time(self):
+        homogeneous = simulate(baseline_config(**SMOKE, seed=5))
+        fast = simulate(
+            baseline_config(**SMOKE, seed=5, node_speed_factors=(2.0,) * 6)
+        )
+        # Doubling every speed halves service everywhere: utilization and
+        # response times drop sharply.
+        assert fast.mean_utilization < homogeneous.mean_utilization * 0.6
+        assert fast.local.mean_response < homogeneous.local.mean_response
+
+    def test_slow_node_is_busier(self):
+        result = simulate(
+            baseline_config(
+                **SMOKE, seed=5,
+                node_speed_factors=(1.0, 1.0, 1.0, 1.0, 1.0, 0.6),
+            )
+        )
+        slow = result.per_node[5].utilization
+        others = [n.utilization for n in result.per_node[:5]]
+        assert slow > max(others)
+
+    def test_preemptive_with_speeds_rejected(self):
+        with pytest.raises(ValueError, match="preemptive"):
+            baseline_config(
+                preemptive=True, node_speed_factors=(1.0,) * 6
+            )
+
+
+class TestStreamIsolation:
+    """Adding scenario dimensions must not move baseline random draws."""
+
+    def test_non_uniform_placement_leaves_route_stream_cold(self):
+        sim = Simulation(
+            baseline_config(**SMOKE, seed=8, placement="least-outstanding")
+        )
+        sim.run()
+        names = set(sim.streams.names())
+        assert "placement-lo" in names
+        assert "global-route" not in names
+
+    def test_zipf_uses_its_own_stream(self):
+        sim = Simulation(
+            baseline_config(**SMOKE, seed=8, placement="zipf")
+        )
+        sim.run()
+        assert "placement-zipf" in set(sim.streams.names())
+
+    def test_local_results_immune_to_global_placement_policy(self):
+        """Local tasks never touch placement; switching the policy must
+        leave every local-stream draw untouched (only global routing and
+        thus queueing interleaving may shift outcomes)."""
+        uniform = Simulation(baseline_config(**SMOKE, seed=8))
+        roundrobin = Simulation(
+            baseline_config(**SMOKE, seed=8, placement="round-robin")
+        )
+        uniform.run()
+        roundrobin.run()
+        assert (
+            sum(s.generated for s in uniform.local_sources)
+            == sum(s.generated for s in roundrobin.local_sources)
+        )
+
+
+class TestArrivalAndServiceModels:
+    def test_bursty_arrivals_preserve_mean_rate(self):
+        config = baseline_config(**SMOKE, seed=13)
+        base = Simulation(config)
+        bursty = Simulation(
+            config.with_(arrival_model="hyperexp", arrival_cv2=4.0)
+        )
+        base.run()
+        bursty.run()
+        base_generated = sum(s.generated for s in base.local_sources)
+        bursty_generated = sum(s.generated for s in bursty.local_sources)
+        assert bursty_generated == pytest.approx(base_generated, rel=0.15)
+
+    def test_bursty_arrivals_miss_more_deadlines(self):
+        base = simulate(baseline_config(**SMOKE, seed=13))
+        bursty = simulate(
+            baseline_config(
+                **SMOKE, seed=13, arrival_model="hyperexp", arrival_cv2=4.0
+            )
+        )
+        assert bursty.md_local > base.md_local
+
+    def test_heavy_tailed_service_keeps_utilization(self):
+        base = simulate(baseline_config(**SMOKE, seed=13))
+        pareto = simulate(
+            baseline_config(**SMOKE, seed=13, service_model="pareto")
+        )
+        # Same offered load: utilization close to the exponential baseline.
+        assert pareto.mean_utilization == pytest.approx(
+            base.mean_utilization, rel=0.15
+        )
+
+
+class TestNonFiniteScenarioParameters:
+    """Regression: NaN slips past `< 0` / `<= 0` comparisons; the
+    config-only scenario knobs must reject non-finite values."""
+
+    def test_nan_zipf_exponent_rejected(self):
+        with pytest.raises(ValueError, match="placement_zipf_s"):
+            baseline_config(placement="zipf", placement_zipf_s=float("nan"))
+
+    def test_nan_speed_factor_rejected(self):
+        with pytest.raises(ValueError, match="speed factors"):
+            baseline_config(node_speed_factors=(float("nan"),) * 6)
+
+    def test_inf_speed_factor_rejected(self):
+        with pytest.raises(ValueError, match="speed factors"):
+            baseline_config(
+                node_speed_factors=(float("inf"), 1.0, 1.0, 1.0, 1.0, 1.0)
+            )
+
+    def test_nan_profile_multiplier_rejected(self):
+        with pytest.raises(ValueError, match="multipliers"):
+            baseline_config(load_profile=((0.5, float("nan")), (0.5, 1.0)))
+
+    def test_nan_profile_fraction_rejected(self):
+        with pytest.raises(ValueError, match="fractions"):
+            baseline_config(load_profile=((float("nan"), 1.0), (1.0, 1.0)))

@@ -95,3 +95,70 @@ class TestParser:
     def test_bad_scale_exits(self):
         with pytest.raises(SystemExit):
             main(["run", "Fig2", "--scale", "huge"])
+
+
+class TestSimulateSeedEcho:
+    def test_resolved_seed_echoed(self, capsys):
+        assert main([
+            "simulate", "--sim-time", "600", "--warmup", "60", "--seed", "77",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "resolved seed: 77" in out
+
+
+class TestScenarios:
+    def test_list_names_the_library(self, capsys):
+        assert main(["scenarios", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("baseline", "bursty-mmpp", "smart-routing", "rush-hour"):
+            assert name in out
+
+    def test_run_prints_metrics_and_seed(self, capsys):
+        assert main([
+            "scenarios", "run", "baseline",
+            "--strategy", "EQF", "--scale", "smoke", "--seed", "5",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "MD_global" in out
+        assert "resolved seed: 5" in out
+
+    def test_run_unknown_scenario_fails_cleanly(self, capsys):
+        assert main(["scenarios", "run", "no-such"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_run_rejects_negative_batch_size(self, capsys):
+        assert main([
+            "scenarios", "run", "baseline", "--batch-size", "-1",
+        ]) == 2
+        assert "batch_size" in capsys.readouterr().err
+
+    def test_sweep_ranks_strategies_per_scenario(self, capsys):
+        assert main([
+            "scenarios", "sweep",
+            "--scenario", "baseline", "--scenario", "hotspot-zipf",
+            "--strategies", "UD", "EQF",
+            "--scale", "smoke", "--seed", "3",
+        ]) == 0
+        captured = capsys.readouterr()
+        assert "baseline" in captured.out
+        assert "hotspot-zipf" in captured.out
+        assert "rank" in captured.out
+        assert "resolved seed: 3" in captured.out
+        assert "2 scenario(s) x 2 strategies" in captured.err
+
+    def test_sweep_unknown_scenario_fails_cleanly(self, capsys):
+        assert main(["scenarios", "sweep", "--scenario", "nope"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_run_unknown_strategy_fails_cleanly(self, capsys):
+        assert main([
+            "scenarios", "run", "baseline", "--strategy", "BOGUS",
+        ]) == 2
+        assert "unknown strategy" in capsys.readouterr().err
+
+    def test_sweep_unknown_strategy_fails_cleanly(self, capsys):
+        assert main([
+            "scenarios", "sweep", "--scenario", "baseline",
+            "--strategies", "BOGUS", "UD",
+        ]) == 2
+        assert "unknown strategy" in capsys.readouterr().err
