@@ -24,6 +24,10 @@ BENCH_MANAGER_JSON = Path(__file__).parent.parent / "BENCH_manager.json"
 #: (``bench_scenarios.py``); same contract as ``BENCH_kernel.json``.
 BENCH_SCENARIOS_JSON = Path(__file__).parent.parent / "BENCH_scenarios.json"
 
+#: Machine-readable record of the preemptive-node ablation benchmarks
+#: (``bench_preemptive.py``); same contract as ``BENCH_kernel.json``.
+BENCH_PREEMPTIVE_JSON = Path(__file__).parent.parent / "BENCH_preemptive.json"
+
 
 def save_artifact(name: str, text: str) -> Path:
     """Write a rendered table/chart to ``benchmarks/results/<name>.txt``."""
@@ -79,6 +83,12 @@ def record_manager_bench(name: str, benchmark) -> Path | None:
 def record_scenario_bench(name: str, benchmark) -> Path | None:
     """Record one scenario runtime into ``BENCH_scenarios.json``."""
     return record_bench(BENCH_SCENARIOS_JSON, name, benchmark)
+
+
+def record_preemptive_bench(name: str, benchmark) -> Path | None:
+    """Record one preemptive-node microbenchmark into
+    ``BENCH_preemptive.json``."""
+    return record_bench(BENCH_PREEMPTIVE_JSON, name, benchmark)
 
 
 def series_end(figure, strategy: str, metric: str = "global") -> float:

@@ -108,6 +108,38 @@ PARALLEL_SMART = ScenarioSpec(
     base={"task_structure": "parallel"},
 )
 
+#: The non-preemption ablation, otherwise untouched: how much of the
+#: deadline-assignment story (EQS/EQF vs. UD/DIV) survives when nodes
+#: may preempt?
+PREEMPTIVE_BASELINE = ScenarioSpec(
+    name="preemptive-baseline",
+    description="Table 1 model on preemptive-resume servers (ablation).",
+    base={"preemptive": True},
+)
+
+#: Preemption on heterogeneous hardware: remaining demand is rescaled by
+#: the node's speed at every (re-)dispatch.
+PREEMPTIVE_HETERO_SPEEDS = ScenarioSpec(
+    name="preemptive-hetero-speeds",
+    description=(
+        "Preemptive-resume servers with node speeds 1.3/1.0/0.7 (two of "
+        "each)."
+    ),
+    node_speed_factors=(1.3, 1.3, 1.0, 1.0, 0.7, 0.7),
+    base={"preemptive": True},
+)
+
+#: Preemption against heavy tails: urgent arrivals no longer wait behind
+#: rare huge units, the scenario where preemptive-resume should shine.
+PREEMPTIVE_HEAVY_TAIL = ScenarioSpec(
+    name="preemptive-heavy-tail",
+    description=(
+        "Preemptive-resume servers under Pareto service times (shape 2.2)."
+    ),
+    service=ServiceSpec(model="pareto", shape=2.2),
+    base={"preemptive": True},
+)
+
 #: Library order is presentation order (baseline first).
 LIBRARY: Tuple[ScenarioSpec, ...] = (
     BASELINE,
@@ -121,4 +153,7 @@ LIBRARY: Tuple[ScenarioSpec, ...] = (
     RUSH_HOUR,
     STRESS_MIX,
     PARALLEL_SMART,
+    PREEMPTIVE_BASELINE,
+    PREEMPTIVE_HETERO_SPEEDS,
+    PREEMPTIVE_HEAVY_TAIL,
 )

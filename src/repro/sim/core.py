@@ -214,10 +214,40 @@ class _Sleep(Timeout):
     callback list) to the environment's pool for the next ``_sleep`` call,
     eliminating the two allocations per service interval / interarrival
     gap that dominate event traffic.  The contract: callers must not
-    retain the event after it fires.
+    retain the event after it fires -- with one exception: the owner of
+    the callbacks may :meth:`cancel` the sleep while it is still pending
+    (this is how preemptive servers revoke a scheduled completion).
     """
 
     __slots__ = ()
+
+    def cancel(self) -> None:
+        """Defuse this pending sleep: its callbacks will never run.
+
+        Deleting from the middle of a binary heap is O(n), so the heap
+        entry stays where it is; when the run loop pops it at the
+        original expiry time, the silenced event carries no callbacks and
+        is recycled into the pool exactly like a fired sleep.  The object
+        therefore returns to service automatically -- callers just drop
+        their reference after cancelling.
+
+        Only legal while the sleep is pending: cancelling a processed
+        sleep raises.  That guard is best-effort, though -- it catches a
+        stale cancel only until the pool re-issues the object, after
+        which a retained reference is indistinguishable from the new
+        owner's (a stale cancel would silently clear the new owner's
+        callbacks).  The pool contract is the real protection: drop the
+        reference once the sleep has fired or been cancelled.
+        """
+        callbacks = self.callbacks
+        if self._processed or callbacks is None:
+            # callbacks is None only on the step() reference path; the
+            # run loop re-attaches the (cleared) list when it pools the
+            # object, so _processed is the authoritative check.
+            raise EventLifecycleError(
+                f"cannot cancel {self!r}: it has already been processed"
+            )
+        callbacks.clear()
 
 
 class ConditionValue:

@@ -296,11 +296,6 @@ class SystemConfig:
                     f"node speed factors must be finite and positive, got "
                     f"{self.node_speed_factors}"
                 )
-            if self.preemptive:
-                raise ValueError(
-                    "node_speed_factors are not supported with preemptive "
-                    "nodes (remaining-demand bookkeeping assumes unit speed)"
-                )
         if self.load_profile is not None:
             if not self.load_profile:
                 raise ValueError("load_profile must have at least one segment")

@@ -22,9 +22,9 @@ collaborator state is bound once, the overload hook is skipped entirely
 under the ``NoAbort`` baseline, trace calls are guarded by a tracer
 ``None`` check (tracing off must cost nothing), monitor updates are
 inlined, and completion events are only fired for units whose submitter
-actually asked for one.  The preemptive subclass keeps a generator-based
-server (interruption needs a process); only this non-preemptive node uses
-the callback machine.
+actually asked for one.  The preemptive subclass is a callback machine
+too, built on cancellable kernel timers (see
+:mod:`repro.system.preemptive`); no node kind runs a generator server.
 """
 
 from __future__ import annotations

@@ -5,12 +5,13 @@ preemption" (Sec. 4.1).  Non-preemption is realistic for database
 operations or network transmissions, but many components (CPU schedulers)
 do preempt.  :class:`PreemptiveNode` implements preemptive-resume service:
 when a unit arrives whose priority (per the node's policy, including the
-Globals-First class) beats the unit in service, the server is interrupted,
-the preempted unit returns to the ready queue with only its *remaining*
-execution demand, and service continues with the newcomer.
+Globals-First class) beats the unit in service, the service timer is
+cancelled, the preempted unit returns to the ready queue with only its
+*remaining* execution demand, and service continues with the newcomer.
 
 This is an extension, not part of the reproduction proper; the ablation
-bench measures how much of the paper's story depends on non-preemption.
+bench (``benchmarks/bench_preemptive.py``) measures how much of the
+paper's story depends on non-preemption.
 
 Semantics:
 
@@ -18,17 +19,39 @@ Semantics:
   time keeps its meaning);
 * preemption happens only when the arrival's priority is *strictly* higher
   -- ties never preempt, so FIFO determinism is preserved;
+* any burst of same-instant higher-priority arrivals causes exactly ONE
+  preemption: the re-dispatch picks the best queued unit, so further
+  interrupts would only charge spurious preemptions (this was a real bug
+  in the old generator server, which queued one interrupt per arrival);
+* remaining demand is clamped at zero: a preemption landing exactly at
+  the completion instant can compute ``consumed > demand`` by a float
+  ulp, and a negative remainder must not become a negative timer delay;
+* with a ``speed`` factor ``s``, a unit with remaining demand ``d``
+  occupies the server for ``d / s``; on preemption the demand consumed is
+  ``elapsed * s``.  Remaining demand is bookkept in demand units, so a
+  unit preempted on one node would re-dispatch correctly at any speed
+  (nodes keep their own queues, so in practice it re-dispatches here);
 * the overload policy is still consulted only at (re-)dispatch, never
   mid-service.
+
+Like its base class, the server is a callback state machine -- no
+generator process, no coroutine switch, no ``Interrupt`` exception on the
+hot path.  Dispatch schedules a pooled, *cancellable* completion timer
+(:meth:`repro.sim.core._Sleep.cancel`); preemption cancels it, computes
+the remaining demand, re-enqueues the unit, and re-dispatches, all in one
+urgent callback.  Event ordering is bit-identical to the old generator
+server: the idle wake-up is a NORMAL-priority event (where the generator
+server triggered its wakeup event) and the preemption poke is an URGENT
+event (where the generator server scheduled its interrupt), each
+consuming one event-list sequence number at the same points.
 """
 
 from __future__ import annotations
 
-from heapq import heappop
+from heapq import heappop, heappush
 from typing import Optional
 
-from ..sim.core import NORMAL, Environment, Event
-from ..sim.errors import Interrupt
+from ..sim.core import NORMAL, URGENT, Environment, Event
 from .metrics import MetricsCollector
 from .node import Node
 from .overload import OverloadPolicy
@@ -46,19 +69,36 @@ class PreemptiveNode(Node):
         policy: SchedulingPolicy,
         metrics: MetricsCollector,
         overload_policy: Optional[OverloadPolicy] = None,
+        speed: float = 1.0,
     ) -> None:
-        #: Remaining service demand of units that have been preempted at
-        #: least once, keyed by unit id.  Units never seen here still need
-        #: their full ``timing.ex``.
+        #: Remaining service demand (in demand units, not wall time) of
+        #: units that have been preempted at least once, keyed by unit
+        #: id.  Units never seen here still need their full ``timing.ex``.
         self._remaining: dict[int, float] = {}
-        self._current: Optional[WorkUnit] = None
         self._preemptions = 0
-        super().__init__(env, index, policy, metrics, overload_policy)
-        # Unlike the callback-machine base class, preemptive service needs
-        # an interruptible process: the server is a generator that sleeps
-        # on a reusable wakeup event while the queue is empty.
-        self._wakeup: Optional[Event] = None
-        self.process = env.process(self._server())
+        #: True between scheduling the urgent preemption poke and handling
+        #: it.  Guards against the double-interrupt bug: two same-instant
+        #: higher-priority arrivals must cause ONE preemption, not a
+        #: second poke that charges a spurious preemption to the unit
+        #: dispatched by the first.
+        self._preempt_pending = False
+        #: The cancellable completion timer of the unit in service.
+        self._sleep = None
+        self._service_began = 0.0
+        self._service_demand = 0.0
+        super().__init__(env, index, policy, metrics, overload_policy, speed)
+        self._on_preempt = self._preempt
+        # The urgent preemption poke, pooled: one bare event per node,
+        # re-armed by the handler each time it fires.  ``_preempt_pending``
+        # guarantees at most one outstanding schedule, so reuse is safe.
+        poke = Event.__new__(Event)
+        poke.env = env
+        poke.callbacks = self._poke_callbacks = [self._on_preempt]
+        poke._value = None
+        poke._ok = True
+        poke._processed = False
+        poke._defused = True
+        self._poke = poke
 
     @property
     def preemptions(self) -> int:
@@ -66,70 +106,114 @@ class PreemptiveNode(Node):
         return self._preemptions
 
     def submit_nowait(self, unit: WorkUnit) -> None:
-        """Enqueue a unit; wake the sleeping server or preempt the one in
+        """Enqueue a unit; wake the idle server or preempt the one in
         service.
 
-        The base class's deferred-dispatch wake-up belongs to its callback
-        state machine, which this process-based server does not use; and as
-        an ablation extension this node takes the readable enqueue path
-        (``queue.push`` + ``increment``) rather than the base class's
-        inlined one -- same arithmetic, no duplicated hot-path code.
+        Same inlined enqueue as the base class; the differences are the
+        NORMAL-priority idle wake (the generator server's wakeup event
+        fired at NORMAL, and the golden gate pins that ordering) and the
+        preemption check against the unit in service.
         """
         if unit.node_index != self.index:
             raise ValueError(
                 f"{unit!r} routed to node {self.index}, expected "
                 f"{unit.node_index}"
             )
-        self.queue.push(unit)
-        now = self.env.now
-        self._queue_signal.increment(1, now)
+        # Inlined ReadyQueue.push (see schedulers.py for the reference).
+        heappush(
+            self._heap,
+            (
+                unit.priority_class,
+                self._queue_key(unit),
+                next(self._queue_seq),
+                unit,
+            ),
+        )
+        env = self.env
+        now = env._now
+        # Inlined self._queue_signal.increment(1, now): kernel time is
+        # monotone, and a +1 step can raise only the maximum.
+        signal = self._queue_signal
+        old = signal._value
+        signal._area += old * (now - signal._last_time)
+        signal._last_time = now
+        value = old + 1.0
+        signal._value = value
+        if value > signal.max:
+            signal.max = value
         metrics = self.metrics
         if metrics._tracer is not None:
             metrics._tracer.record(now, "submit", unit, self.index)
-        wakeup = self._wakeup
-        if wakeup is not None and not wakeup.triggered:
-            wakeup.succeed()
-        current = self._current
-        if current is not None and (
-            self.queue.key_of(unit) < self.queue.key_of(current)
-        ):
-            self._preemptions += 1
-            self.process.interrupt(cause="preempt")
+        if not self._busy:
+            # Deferred dispatch, one NORMAL event: same-instant
+            # submissions are scheduled as a batch, ordered by the policy.
+            if not self._wake_pending:
+                self._wake_pending = True
+                env._schedule_call(self._on_wake, priority=NORMAL)
+            return
+        serving = self._serving
+        if serving is not None and not self._preempt_pending:
+            # Strictly-higher priority preempts: lexicographic
+            # (priority_class, queue key) comparison -- the same key the
+            # ready queue orders by -- short-circuited to skip the key
+            # calls on the common class tie-break miss.
+            arriving_class = unit.priority_class
+            serving_class = serving.priority_class
+            if arriving_class < serving_class or (
+                arriving_class == serving_class
+                and self._queue_key(unit) < self._queue_key(serving)
+            ):
+                # One urgent poke per preemption decision: the re-dispatch
+                # re-picks the best queued unit, so further same-instant
+                # arrivals need no second poke (see ``_preempt_pending``).
+                # Scheduling inlines ``_schedule_call`` with the pooled
+                # poke event: same time, URGENT priority, and sequence
+                # consumption, no allocation.
+                self._preempt_pending = True
+                self._preemptions += 1
+                env._seq += 1
+                heappush(env._queue, (now, URGENT, env._seq, self._poke))
 
-    def _server(self):
+    # -- server state machine ------------------------------------------------
+
+    def _dispatch_next(self) -> None:
+        """Serve the highest-priority queued unit (for its *remaining*
+        demand, scaled by the node speed), or go idle.
+
+        Runs from the idle wake, the completion callback, and the
+        preemption callback; immediate aborts drain in the loop without
+        touching the event list.
+        """
         env = self.env
         index = self.index
         metrics = self.metrics
-        queue = self.queue
-        heap = queue._heap  # the ready queue mutates this list in place
-        pop = heappop
-        push = queue.push
-        busy_update = metrics.node_busy[index].update
-        queue_sig = self._queue_signal.increment
+        tracer = metrics._tracer
         dispatched = metrics.node_dispatched
-        record = metrics.record_unit_completion
-        sleep = env._sleep  # pooled timeouts; never retained after firing
+        heap = self._heap
+        queue_signal = self._queue_signal
+        abort_check = self._abort_check
         remaining = self._remaining
-        abort_check = self._abort_check  # NoAbort fast path, bound by Node
-        wakeup = env.event()
-        while True:
-            if not heap:
-                self._wakeup = wakeup
-                yield wakeup
-                self._wakeup = None
-                wakeup._reset()
-            unit = pop(heap)[3]
+        while heap:
+            unit = heappop(heap)[3]
             now = env._now
-            queue_sig(-1, now)
+            # Inlined queue_signal.increment(-1, now): a -1 step can lower
+            # only the minimum.
+            old = queue_signal._value
+            queue_signal._area += old * (now - queue_signal._last_time)
+            queue_signal._last_time = now
+            qlen = old - 1.0
+            queue_signal._value = qlen
+            if qlen < queue_signal.min:
+                queue_signal.min = qlen
             dispatched[index] += 1
             timing = unit.timing
 
             if abort_check is not None and abort_check(unit, now):
                 timing.aborted = True
                 remaining.pop(unit.id, None)
-                if metrics._tracer is not None:
-                    metrics._tracer.record(now, "abort", unit, index)
-                record(unit)
+                if tracer is not None:
+                    tracer.record(now, "abort", unit, index)
+                metrics.record_unit_completion(unit)
                 done = unit._done
                 if done is not None:
                     done.succeed(unit)
@@ -142,39 +226,87 @@ class PreemptiveNode(Node):
             if timing.started_at is None:
                 timing.started_at = now
             self._busy = True
-            self._current = unit
-            busy_update(1, now)
-            if metrics._tracer is not None:
-                metrics._tracer.record(now, "dispatch", unit, index)
-            service_began = now
-            try:
-                yield sleep(demand)
-            except Interrupt:
-                now = env._now
-                consumed = now - service_began
-                remaining[unit.id] = demand - consumed
-                self._busy = False
-                self._current = None
-                busy_update(0, now)
-                if metrics._tracer is not None:
-                    metrics._tracer.record(now, "preempt", unit, index)
-                # Put the preempted unit back; the newcomer (already queued
-                # by submit) will win the next dispatch.
-                push(unit)
-                queue_sig(1, now)
-                continue
-            now = env._now
-            timing.completed_at = now
-            remaining.pop(unit.id, None)
-            self._busy = False
-            self._current = None
-            busy_update(0, now)
-            if metrics._tracer is not None:
-                metrics._tracer.record(now, "complete", unit, index)
-            record(unit)
-            done = unit._done
-            if done is not None:
-                done.succeed(unit)
-            on_done = unit.on_done
-            if on_done is not None:
-                env._schedule_call(on_done, value=unit, priority=NORMAL)
+            self._serving = unit
+            busy = self._busy_signal
+            # Inlined busy.update(1, now): the 0 -> 1 edge adds no area
+            # (the signal was 0), so only the bookkeeping fields move.
+            busy._last_time = now
+            busy._value = 1.0
+            if busy.max < 1.0:
+                busy.max = 1.0
+            if tracer is not None:
+                tracer.record(now, "dispatch", unit, index)
+            self._service_began = now
+            self._service_demand = demand
+            speed = self.speed
+            # The homogeneous path keeps the exact ``demand`` delay (no
+            # division), so fixed-seed results are bit-identical.
+            service = demand if speed == 1.0 else demand / speed
+            sleep = env._sleep(service)
+            sleep.callbacks.append(self._on_complete)
+            self._sleep = sleep
+            return
+
+    def _preempt(self, _event) -> None:
+        """Urgent preemption poke: revoke the completion timer, bookkeep
+        the remaining demand, re-enqueue the preempted unit, re-dispatch.
+
+        The timer is always still pending here: the poke is an URGENT
+        event scheduled at the submission instant, so it runs before a
+        completion landing at the same time (and a completion at an
+        earlier time would have cleared ``_serving`` first, making the
+        submission take the non-preempting path).
+        """
+        self._preempt_pending = False
+        # Re-arm the pooled poke for its next schedule (the run loop just
+        # detached its callback list and marked it processed).
+        poke = self._poke
+        poke.callbacks = self._poke_callbacks
+        poke._processed = False
+        unit = self._serving
+        self._serving = None
+        env = self.env
+        now = env._now
+        self._sleep.cancel()
+        self._sleep = None
+        speed = self.speed
+        elapsed = now - self._service_began
+        consumed = elapsed if speed == 1.0 else elapsed * speed
+        # Clamp: when the preemption lands exactly at the completion
+        # instant, ``now - began`` can exceed the demand by a float ulp,
+        # and a negative remainder would become a negative timer delay.
+        left = self._service_demand - consumed
+        self._remaining[unit.id] = left if left > 0.0 else 0.0
+        self._busy = False
+        busy = self._busy_signal
+        # Inlined busy.update(0, now): the 1 -> 0 edge accumulates one
+        # partial service interval of area (1.0 * dt == dt exactly).
+        busy._area += now - busy._last_time
+        busy._last_time = now
+        busy._value = 0.0
+        if busy.min > 0.0:
+            busy.min = 0.0
+        metrics = self.metrics
+        if metrics._tracer is not None:
+            metrics._tracer.record(now, "preempt", unit, self.index)
+        # Put the preempted unit back; the newcomer (already queued by
+        # submit) wins the re-dispatch.  Preemption is not the per-unit
+        # hot path, so this takes the readable queue API rather than
+        # submit_nowait's inlined copy -- same arithmetic.
+        self.queue.push(unit)
+        self._queue_signal.increment(1, now)
+        self._dispatch_next()
+
+    def _complete(self, _event) -> None:
+        """Service interval elapsed: scrub the preemption bookkeeping,
+        then record the outcome and serve the next like the base class."""
+        self._sleep = None
+        self._remaining.pop(self._serving.id, None)
+        Node._complete(self, _event)
+
+    def __repr__(self) -> str:
+        return (
+            f"<PreemptiveNode {self.index} policy={self.queue.policy.name} "
+            f"queued={len(self.queue)} busy={self._busy} "
+            f"preemptions={self._preemptions}>"
+        )

@@ -63,31 +63,18 @@ class Simulation:
         policy = get_policy(config.scheduler)
         overload = get_overload_policy(config.overload_policy)
         speeds = config.node_speed_factors
-        if config.preemptive:
-            # Speed factors are rejected by config validation for the
-            # preemptive ablation; its constructor takes no speed.
-            self.nodes: List[Node] = [
-                PreemptiveNode(
-                    env=self.env,
-                    index=i,
-                    policy=policy,
-                    metrics=self.metrics,
-                    overload_policy=overload,
-                )
-                for i in range(config.node_count)
-            ]
-        else:
-            self.nodes = [
-                Node(
-                    env=self.env,
-                    index=i,
-                    policy=policy,
-                    metrics=self.metrics,
-                    overload_policy=overload,
-                    speed=1.0 if speeds is None else speeds[i],
-                )
-                for i in range(config.node_count)
-            ]
+        node_type = PreemptiveNode if config.preemptive else Node
+        self.nodes: List[Node] = [
+            node_type(
+                env=self.env,
+                index=i,
+                policy=policy,
+                metrics=self.metrics,
+                overload_policy=overload,
+                speed=1.0 if speeds is None else speeds[i],
+            )
+            for i in range(config.node_count)
+        ]
         self.process_manager = ProcessManager(
             env=self.env,
             nodes=self.nodes,

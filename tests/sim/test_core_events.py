@@ -196,3 +196,90 @@ class TestConditions:
         b = other_env.timeout(1)
         with pytest.raises(SimulationError):
             env.all_of([a, b])
+
+
+class TestCancellableSleep:
+    """The kernel's cancellable-timer primitive: ``_Sleep.cancel()``.
+
+    Preemptive servers schedule a completion timer per dispatch and must
+    be able to revoke it without firing its callbacks (and without
+    leaking the pooled object or corrupting a later reuse of it).
+    """
+
+    def test_cancelled_sleep_never_fires_callbacks(self, env):
+        fired = []
+        sleep = env._sleep(5.0)
+        sleep.callbacks.append(lambda event: fired.append(event))
+        sleep.cancel()
+        env.run(until=10.0)
+        assert fired == []
+
+    def test_cancelled_sleep_returns_to_pool_at_expiry(self, env):
+        sleep = env._sleep(5.0)
+        sleep.cancel()
+        assert sleep not in env._sleep_pool  # still parked in the heap
+        env.run(until=10.0)
+        assert sleep in env._sleep_pool
+
+    def test_cancel_then_resleep_uses_a_fresh_object(self, env):
+        """Until its stale heap entry pops, a cancelled sleep must NOT be
+        reused -- a second heap entry for the same object would fire the
+        new owner's callbacks at the old expiry."""
+        first = env._sleep(5.0)
+        first.cancel()
+        second = env._sleep(1.0)
+        assert second is not first
+
+        fired = []
+        second.callbacks.append(lambda event: fired.append(env.now))
+        env.run(until=10.0)
+        assert fired == [1.0]
+
+    def test_recycled_after_cancellation_fires_normally(self, env):
+        """Once recycled through the pool, a previously cancelled object
+        serves later sleeps exactly like a fresh one."""
+        first = env._sleep(2.0)
+        first.cancel()
+        env.run(until=3.0)  # stale entry pops; object returns to the pool
+        assert first in env._sleep_pool
+
+        reused = env._sleep(4.0)
+        assert reused is first
+        fired = []
+        reused.callbacks.append(lambda event: fired.append(env.now))
+        env.run(until=10.0)
+        assert fired == [7.0]
+
+    def test_cancel_processed_sleep_raises(self, env):
+        sleep = env._sleep(1.0)
+        env.run(until=2.0)
+        with pytest.raises(EventLifecycleError):
+            sleep.cancel()
+
+    def test_cancellation_does_not_disturb_other_events(self, env):
+        order = []
+        keep = env._sleep(3.0)
+        keep.callbacks.append(lambda event: order.append("keep"))
+        victim = env._sleep(1.0)
+        victim.callbacks.append(lambda event: order.append("victim"))
+        late = env.timeout(5.0)
+        late.callbacks.append(lambda event: order.append("late"))
+        victim.cancel()
+        env.run(until=10.0)
+        assert order == ["keep", "late"]
+
+    def test_cancel_at_expiry_instant_is_honored(self, env):
+        """Cancelling at the very instant the sleep expires (same time,
+        earlier event) still suppresses the callback -- the preemption
+        boundary case where an interrupt lands at the completion
+        instant."""
+        fired = []
+        # The trigger is created first, so at t=1.0 it is processed
+        # before the sleep (same time and priority, smaller sequence).
+        trigger = env.timeout(1.0)
+        sleep = env._sleep(1.0)
+        sleep.callbacks.append(lambda event: fired.append(event))
+        trigger.callbacks.append(lambda event: sleep.cancel())
+        env.run(until=2.0)
+        assert fired == []
+        assert sleep in env._sleep_pool

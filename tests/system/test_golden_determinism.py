@@ -178,6 +178,52 @@ class TestPreemptiveNodeGolden:
         assert simulate(config.with_(trace=True)) == preemptive_result
 
 
+class TestPreemptiveSpeedFactorsGolden:
+    """Exact values for preemptive-resume nodes with heterogeneous speed
+    factors (the combination the callback-server rewrite unlocked:
+    remaining demand is rescaled by the node speed at every
+    (re-)dispatch).  Pinned at introduction so future kernel or server
+    changes cannot silently drift this path."""
+
+    @pytest.fixture(scope="class")
+    def hetero_result(self):
+        from repro.scenarios import get_scenario
+
+        config = get_scenario("preemptive-hetero-speeds").to_config(
+            sim_time=SIM_TIME, warmup_time=WARMUP, seed=13, strategy="EQF",
+        )
+        return simulate(config)
+
+    def test_counts(self, hetero_result):
+        assert hetero_result.local.completed == 5054
+        assert hetero_result.local.missed == 1250
+        assert hetero_result.local.aborted == 0
+        assert hetero_result.global_.completed == 470
+        assert hetero_result.global_.missed == 207
+        assert hetero_result.global_.aborted == 0
+
+    def test_means_exact(self, hetero_result):
+        assert hetero_result.local.mean_response == 2.335120983890809
+        assert hetero_result.global_.mean_response == 9.891230676429043
+
+    def test_per_node_dispatch_counts(self, hetero_result):
+        assert [n.dispatched for n in hetero_result.per_node] == [
+            1334, 1319, 1331, 1482, 1333, 1336,
+        ]
+
+    def test_node0_utilization_exact(self, hetero_result):
+        assert hetero_result.per_node[0].utilization == 0.3902191612379825
+
+    def test_trace_on_equals_trace_off(self, hetero_result):
+        from repro.scenarios import get_scenario
+
+        config = get_scenario("preemptive-hetero-speeds").to_config(
+            sim_time=SIM_TIME, warmup_time=WARMUP, seed=13, strategy="EQF",
+            trace=True,
+        )
+        assert simulate(config) == hetero_result
+
+
 class TestScenarioBaselineGolden:
     """The scenario subsystem's ``baseline`` must reduce to the plain
     ``SystemConfig`` path *bit for bit*.

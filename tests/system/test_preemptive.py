@@ -138,6 +138,238 @@ class TestPreemption:
         assert metrics.snapshot(10.0).per_node[0].utilization == pytest.approx(0.6)
 
 
+class TestSameInstantArrivals:
+    """Regression tests for the double-interrupt bug: every same-instant
+    higher-priority arrival used to issue its own ``process.interrupt()``,
+    and the queued second interrupt fired at the *next* service interval,
+    charging a spurious preemption to the wrong unit."""
+
+    def test_two_simultaneous_urgent_arrivals_preempt_once(self, env, node):
+        long_unit = submit(env, node, ex=10.0, dl=100.0, name="long")
+
+        def storm(env, node, out):
+            yield env.timeout(2.0)
+            # Two arrivals at the same instant, both beating the unit in
+            # service, submitted within one event callback.
+            out.append(submit(env, node, ex=1.0, dl=4.0, name="urgent-a"))
+            out.append(submit(env, node, ex=1.0, dl=5.0, name="urgent-b"))
+
+        arrivals = []
+        env.process(storm(env, node, arrivals))
+        env.run()
+        a, b = arrivals
+        # One preemption: the server re-picks the best queued unit once.
+        assert node.preemptions == 1
+        # EDF order among the newcomers: a then b, then the long unit.
+        assert a.timing.completed_at == 3.0
+        assert b.timing.completed_at == 4.0
+        # The long unit got 2 units in [0, 2] and its remaining 8 after
+        # the storm -- no spurious second preemption at the re-dispatch.
+        assert long_unit.timing.completed_at == 12.0
+        assert node._remaining == {}
+
+    def test_storm_preemption_counter_exact(self, env, node):
+        """An N-arrival same-instant storm is exactly one preemption."""
+        submit(env, node, ex=20.0, dl=200.0, name="long")
+
+        def storm(env, node):
+            yield env.timeout(1.0)
+            for i in range(5):
+                submit(env, node, ex=0.5, dl=2.0 + 0.1 * i, name=f"s{i}")
+
+        env.process(storm(env, node))
+        env.run()
+        assert node.preemptions == 1
+        assert node._remaining == {}
+
+    def test_sequential_preemptions_still_count_individually(self, env, node):
+        """The pending-interrupt guard must not swallow preemptions that
+        happen at distinct instants."""
+        submit(env, node, ex=20.0, dl=200.0, name="long")
+
+        def arrivals(env, node):
+            yield env.timeout(1.0)
+            submit(env, node, ex=1.0, dl=5.0, name="first")
+            yield env.timeout(2.0)
+            submit(env, node, ex=1.0, dl=6.0, name="second")
+
+        env.process(arrivals(env, node))
+        env.run()
+        assert node.preemptions == 2
+        assert node._remaining == {}
+
+
+class TestCompletionInstantInterrupt:
+    """Regression tests for the negative-remaining-demand bug: an
+    interrupt landing at the completion instant produced
+    ``remaining = demand - consumed < 0`` by a float ulp, and later a
+    negative sleep delay."""
+
+    def test_interrupt_at_completion_instant_clamps_remaining(self, env, node):
+        # "first" is served over [0.1, 0.4], and in float arithmetic
+        # (0.1 + 0.3) - 0.1 = 0.30000000000000004 > 0.3: an interrupt at
+        # the completion instant computes consumed > demand by an ulp.
+        # The background unit makes the target's service *sleep* get a
+        # larger event sequence number than the preempter's arrival
+        # timeout (scheduled at t=0), so the arrival wins the same-time
+        # tie and the interrupt really lands before the completion event.
+        # Unclamped, the negative remainder became a negative sleep delay
+        # (ValueError) at the re-dispatch.
+        submit(env, node, ex=0.1, dl=1.0, name="background")
+        first = submit(env, node, ex=0.3, dl=100.0, name="first")
+
+        def urgent_at_completion(env, node, out):
+            yield env.timeout(0.4)
+            out.append(submit(env, node, ex=0.1, dl=0.6, name="urgent"))
+
+        arrivals = []
+        env.process(urgent_at_completion(env, node, arrivals))
+        env.run()
+        urgent = arrivals[0]
+        assert node.preemptions == 1
+        assert urgent.timing.completed_at == 0.5
+        # The fully-served first unit was re-queued with exactly zero
+        # remaining demand (never negative) and completed right after.
+        assert first.timing.completed_at == 0.5
+        assert node._remaining == {}
+
+    def test_remaining_demand_never_negative(self, env, node):
+        """Drive many preemptions at awkward float instants and assert the
+        remaining-demand table never goes negative."""
+        for i in range(10):
+            submit(env, node, ex=0.1 * (i + 1), dl=100.0 + i, name=f"bg{i}")
+
+        seen = []
+
+        def storm(env, node):
+            t = 0.0
+            for i in range(30):
+                step = 0.07 * ((i % 5) + 1)
+                t += step
+                yield env.timeout(step)
+                submit(env, node, ex=0.05, dl=env.now + 0.2, name=f"hi{i}")
+                seen.append(min(node._remaining.values(), default=0.0))
+
+        env.process(storm(env, node))
+        env.run()
+        assert all(value >= 0.0 for value in seen)
+        assert min(node._remaining.values(), default=0.0) >= 0.0
+        assert node._remaining == {}
+
+
+class TestEdgeCases:
+    def test_zero_demand_unit_completes_instantly(self, env, node):
+        zero = submit(env, node, ex=0.0, dl=10.0, name="zero")
+        env.run()
+        assert zero.timing.completed_at == 0.0
+        assert not zero.timing.missed
+        assert node.preemptions == 0
+        assert node._remaining == {}
+
+    def test_zero_demand_unit_under_storm(self, env, node):
+        """Zero-demand units interleaved with preemption churn neither
+        preempt wrongly nor leak remaining-demand entries."""
+        long_unit = submit(env, node, ex=10.0, dl=100.0, name="long")
+
+        def arrivals(env, node, out):
+            yield env.timeout(1.0)
+            out.append(submit(env, node, ex=0.0, dl=2.0, name="zero"))
+            yield env.timeout(1.0)
+            out.append(submit(env, node, ex=1.0, dl=4.0, name="urgent"))
+
+        created = []
+        env.process(arrivals(env, node, created))
+        env.run()
+        zero, urgent = created
+        assert zero.timing.completed_at == 1.0
+        assert urgent.timing.completed_at == 3.0
+        # long: [0, 1] + [1, 2] + [3, 11] = its full 10 units.
+        assert long_unit.timing.completed_at == 11.0
+        assert node.preemptions == 2
+        assert node._remaining == {}
+
+    def test_preempted_then_aborted_leaves_no_remaining_leak(self, env, metrics):
+        """A unit preempted once and later aborted at re-dispatch must be
+        scrubbed from the remaining-demand table."""
+        from repro.system.overload import AbortTardyAtDispatch
+
+        node = PreemptiveNode(
+            env=env, index=0, policy=EarliestDeadlineFirst(),
+            metrics=metrics, overload_policy=AbortTardyAtDispatch(),
+        )
+        doomed = submit(env, node, ex=10.0, dl=5.0, name="doomed")
+
+        def arrivals(env, node):
+            yield env.timeout(2.0)
+            # Preempts "doomed" and serves past its deadline, so the
+            # re-dispatch of "doomed" aborts it.
+            submit(env, node, ex=4.0, dl=4.5, name="urgent")
+
+        env.process(arrivals(env, node))
+        env.run()
+        assert doomed.timing.aborted
+        assert doomed.timing.completed_at is None
+        assert node.preemptions == 1
+        assert node._remaining == {}
+
+    def test_remaining_cleared_on_completion(self, env, node):
+        preempted = submit(env, node, ex=5.0, dl=50.0, name="victim")
+
+        def arrival(env, node):
+            yield env.timeout(1.0)
+            submit(env, node, ex=1.0, dl=3.0, name="urgent")
+
+        env.process(arrival(env, node))
+        env.run()
+        # victim: [0, 1] + [2, 6] = its full 5 units.
+        assert preempted.timing.completed_at == 6.0
+        assert node._remaining == {}
+
+
+class TestSpeedFactors:
+    """Per-node speed factors on the preemptive server: service time is
+    remaining demand / speed, recomputed at every (re-)dispatch."""
+
+    def make_node(self, env, metrics, speed):
+        return PreemptiveNode(
+            env=env, index=0, policy=EarliestDeadlineFirst(),
+            metrics=metrics, speed=speed,
+        )
+
+    def test_fast_node_halves_service_time(self, env, metrics):
+        node = self.make_node(env, metrics, speed=2.0)
+        unit = submit(env, node, ex=10.0, dl=100.0, name="u")
+        env.run()
+        assert unit.timing.completed_at == 5.0
+
+    def test_remaining_demand_scales_across_preemption(self, env, metrics):
+        """On a speed-2 node: 10 demand = 5 time units.  Preempt after 2
+        time units (4 demand consumed); the resume needs (10-4)/2 = 3."""
+        node = self.make_node(env, metrics, speed=2.0)
+        long_unit = submit(env, node, ex=10.0, dl=100.0, name="long")
+
+        def arrival(env, node):
+            yield env.timeout(2.0)
+            submit(env, node, ex=2.0, dl=5.0, name="urgent")
+
+        env.process(arrival(env, node))
+        env.run()
+        # urgent: [2, 3] (2 demand at speed 2); long: [0, 2] + [3, 6].
+        assert long_unit.timing.completed_at == 6.0
+        assert node.preemptions == 1
+        assert node._remaining == {}
+
+    def test_slow_node_stretches_service(self, env, metrics):
+        node = self.make_node(env, metrics, speed=0.5)
+        unit = submit(env, node, ex=3.0, dl=100.0, name="u")
+        env.run()
+        assert unit.timing.completed_at == 6.0
+
+    def test_invalid_speed_rejected(self, env, metrics):
+        with pytest.raises(ValueError, match="speed"):
+            self.make_node(env, metrics, speed=0.0)
+
+
 class TestIntegration:
     def test_preemptive_baseline_runs(self):
         result = simulate(

@@ -84,11 +84,41 @@ class TestNodeSpeeds:
         others = [n.utilization for n in result.per_node[:5]]
         assert slow > max(others)
 
-    def test_preemptive_with_speeds_rejected(self):
-        with pytest.raises(ValueError, match="preemptive"):
+    def test_preemptive_with_speeds_supported(self):
+        """The callback-server rewrite lifted the old restriction:
+        preemptive nodes scale remaining demand by per-node speed."""
+        homogeneous = simulate(baseline_config(**SMOKE, seed=5, preemptive=True))
+        fast = simulate(
             baseline_config(
-                preemptive=True, node_speed_factors=(1.0,) * 6
+                **SMOKE, seed=5, preemptive=True,
+                node_speed_factors=(2.0,) * 6,
             )
+        )
+        assert fast.mean_utilization < homogeneous.mean_utilization * 0.6
+        assert fast.local.mean_response < homogeneous.local.mean_response
+
+    def test_preemptive_unit_speeds_match_homogeneous_exactly(self):
+        """All-1.0 speed factors must take the exact no-division code
+        path: bit-identical to the homogeneous preemptive run."""
+        plain = simulate(baseline_config(**SMOKE, seed=6, preemptive=True))
+        unit_speeds = simulate(
+            baseline_config(
+                **SMOKE, seed=6, preemptive=True,
+                node_speed_factors=(1.0,) * 6,
+            )
+        )
+        assert unit_speeds == plain
+
+    def test_preemptive_slow_node_is_busier(self):
+        result = simulate(
+            baseline_config(
+                **SMOKE, seed=5, preemptive=True,
+                node_speed_factors=(1.0, 1.0, 1.0, 1.0, 1.0, 0.6),
+            )
+        )
+        slow = result.per_node[5].utilization
+        others = [n.utilization for n in result.per_node[:5]]
+        assert slow > max(others)
 
 
 class TestStreamIsolation:
