@@ -28,6 +28,12 @@ BENCH_SCENARIOS_JSON = Path(__file__).parent.parent / "BENCH_scenarios.json"
 #: (``bench_preemptive.py``); same contract as ``BENCH_kernel.json``.
 BENCH_PREEMPTIVE_JSON = Path(__file__).parent.parent / "BENCH_preemptive.json"
 
+#: Machine-readable record of the engine-core benchmarks
+#: (``bench_core.py``): microbenchmarks are keyed by the active kernel
+#: implementation (``python``/``compiled``) so the same suite run under
+#: ``REPRO_KERNEL=compiled`` lands next to the pure-Python numbers.
+BENCH_CORE_JSON = Path(__file__).parent.parent / "BENCH_core.json"
+
 
 def save_artifact(name: str, text: str) -> Path:
     """Write a rendered table/chart to ``benchmarks/results/<name>.txt``."""
@@ -89,6 +95,14 @@ def record_preemptive_bench(name: str, benchmark) -> Path | None:
     """Record one preemptive-node microbenchmark into
     ``BENCH_preemptive.json``."""
     return record_bench(BENCH_PREEMPTIVE_JSON, name, benchmark)
+
+
+def record_core_bench(name: str, benchmark) -> Path | None:
+    """Record one engine-core microbenchmark into ``BENCH_core.json``,
+    keyed by the active kernel implementation."""
+    from repro.sim.core import KERNEL
+
+    return record_bench(BENCH_CORE_JSON, f"{KERNEL}/{name}", benchmark)
 
 
 def series_end(figure, strategy: str, metric: str = "global") -> float:

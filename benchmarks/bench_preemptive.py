@@ -53,7 +53,7 @@ class _Storm:
         self.node = node
         self.left = count
         self.fired = 0
-        env._sleep(0.5).callbacks.append(self._fire)
+        env._sleep(0.5, self._fire)
 
     def _fire(self, _event) -> None:
         env = self.env
@@ -65,7 +65,7 @@ class _Storm:
         ))
         self.left -= 1
         if self.left:
-            env._sleep(0.5).callbacks.append(self._fire)
+            env._sleep(0.5, self._fire)
 
 
 def run_storm(count: int = 10_000) -> int:

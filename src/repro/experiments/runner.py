@@ -124,6 +124,9 @@ class PointEstimate:
     utilization: float
     local_completed: int
     global_completed: int
+    #: Total preemption events across nodes and replications (0 for
+    #: non-preemptive configurations; see ``NodeStats.preemptions``).
+    preemptions: int = 0
 
     @property
     def gap(self) -> float:
@@ -153,12 +156,14 @@ def _aggregate(
     utilizations: List[float] = []
     local_completed = 0
     global_completed = 0
+    preemptions = 0
     for result in results:
         md_locals.append(result.md_local)
         md_globals.append(result.md_global)
         utilizations.append(result.mean_utilization)
         local_completed += result.local.completed
         global_completed += result.global_.completed
+        preemptions += result.total_preemptions
     return PointEstimate(
         config=config,
         md_local=interval_from_samples(md_locals, level),
@@ -166,6 +171,7 @@ def _aggregate(
         utilization=sum(utilizations) / len(utilizations),
         local_completed=local_completed,
         global_completed=global_completed,
+        preemptions=preemptions,
     )
 
 

@@ -82,9 +82,16 @@ class ScenarioSweepResult:
         return self.ranking(scenario)[0].strategy
 
     def table(self) -> str:
-        """Render the per-scenario strategy ranking as one table."""
+        """Render the per-scenario strategy ranking as one table.
+
+        The ``preempt`` column is the total preemption count across
+        nodes and replications (``PointEstimate.preemptions``): 0 for
+        non-preemptive scenarios, and a direct preemption-pressure
+        ranking signal for the ``preemptive-*`` family.
+        """
         headers = [
             "scenario", "rank", "strategy", "MD_global", "MD_local", "gap",
+            "preempt",
         ]
         rows: List[List[object]] = []
         for scenario in self.scenarios:
@@ -97,6 +104,7 @@ class ScenarioSweepResult:
                     format_percent(estimate.md_global.mean),
                     format_percent(estimate.md_local.mean),
                     format_percent(estimate.gap),
+                    estimate.preemptions,
                 ])
         return render_table(
             headers,

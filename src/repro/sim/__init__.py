@@ -30,7 +30,7 @@ from .errors import (
     SimulationError,
     StopSimulation,
 )
-from .monitor import Series, Tally, TimeWeighted
+from .monitor import MeanTally, Series, Tally, TimeWeighted
 from .process import Process
 from .rng import StreamFactory
 
@@ -50,6 +50,7 @@ __all__ = [
     "Exponential",
     "Interrupt",
     "LognormalErrorFactor",
+    "MeanTally",
     "Process",
     "ProcessError",
     "Series",

@@ -5,249 +5,159 @@ list) and the :class:`Event` family.  It plays the role that the DeNet
 simulation language [Livny 1990] played for the original paper: a generic
 discrete-event substrate on which the task/node/scheduler model is built.
 
+Since the compile-ready split, the hot engine itself (event list, run
+loop, pooled sleeps, urgent deque) lives in :mod:`repro.sim._engine` —
+a self-contained, monomorphic module that can optionally be compiled
+ahead of time (see ``setup.py``).  This module selects the
+implementation at import time and re-exports the public API unchanged,
+then layers the *user-model* machinery on top: the condition events
+(:class:`AllOf`/:class:`AnyOf`) here, and the generator
+:class:`~repro.sim.process.Process` (including the ``Interrupt``
+compatibility API) in :mod:`repro.sim.process`.  Neither is on the
+event hot path.
+
+Kernel selection
+----------------
+
+``REPRO_KERNEL`` picks the engine implementation:
+
+* ``auto`` (default) — the compiled extension ``repro.sim._engine_c``
+  if it is importable, else the pure-Python engine;
+* ``compiled`` — require the compiled extension (ImportError if it was
+  never built);
+* ``python`` — force the pure-Python engine even when a compiled build
+  exists.
+
+Both implementations are built from the same source and produce
+bit-identical fixed-seed results (pinned by
+``tests/system/test_golden_determinism.py`` on both legs).
+:data:`KERNEL` records which one is active.
+
 Design notes
 ------------
 
-* The event list is a binary heap of ``(time, priority, sequence, event)``
-  tuples.  The monotonically increasing ``sequence`` number guarantees FIFO
-  order among events scheduled for the same time and priority, which makes
-  simulations fully deterministic for a fixed seed.
+* The event list is a binary heap of ``(time, seq, event)`` tuples.  The
+  monotonically increasing ``seq`` key guarantees FIFO order among
+  events scheduled for the same time, which makes simulations fully
+  deterministic for a fixed seed; urgent bookkeeping bypasses the heap
+  on a FIFO deque (see the engine module docstring).
 * Processes (see :mod:`repro.sim.process`) are Python generators that yield
   events; the environment resumes them when the yielded event fires.  This
   is the same co-routine style popularized by SimPy, reimplemented here
   because no simulation package is available offline.
 * Events support success *and* failure.  A failed event re-raises its
-  exception inside every waiting process, which is how interrupts and task
-  aborts propagate.
+  exception inside every waiting process, which is how task aborts
+  propagate.
 """
 
 from __future__ import annotations
 
-import heapq
-from heapq import heappop, heappush
-from typing import Any, Callable, Generator, Iterable, Optional
+import os
+from typing import Any, Iterable
 
-from .errors import EventLifecycleError, SimulationError, StopSimulation
+from .errors import SimulationError
 
-#: Default priority for scheduled events.  Lower values fire earlier among
-#: events scheduled for the same simulation time.
-NORMAL = 1
-
-#: Priority used for "urgent" bookkeeping events that must run before any
-#: normal event at the same timestamp (e.g., process resumption).
-URGENT = 0
-
-Callback = Callable[["Event"], None]
-
-#: Lazily resolved :class:`~repro.sim.process.Process` (import cycle guard).
-_Process = None
+_KERNEL_CHOICE = (
+    os.environ.get("REPRO_KERNEL", "auto").strip().lower() or "auto"
+)
 
 
-class Event:
-    """An occurrence that may happen at some point in simulation time.
+def _is_compiled_module(module: object) -> bool:
+    """True when ``module`` is an actual extension, not a stray ``.py``
+    shadow copy left behind by an aborted build."""
+    filename = getattr(module, "__file__", None) or ""
+    return not filename.endswith((".py", ".pyc"))
 
-    An event goes through up to three stages:
 
-    1. *pending* -- created, not yet triggered;
-    2. *triggered* -- given a value (or an exception) and placed on the
-       event list;
-    3. *processed* -- popped from the event list; its callbacks have run.
+def _compiled_module_is_stale(module: object) -> bool:
+    """True when the extension was built from a different ``_engine.py``.
 
-    Processes wait for events by ``yield``-ing them.
+    ``setup.py`` fingerprints the engine source into the build
+    (``ENGINE_SOURCE_HASH``); if the source has been edited since, the
+    extension silently shadows those edits, so ``auto`` must fall back
+    and ``compiled`` must refuse.  Unverifiable (no source on disk, or
+    a pre-fingerprint build) counts as stale.
     """
+    recorded = getattr(module, "ENGINE_SOURCE_HASH", None)
+    if not recorded:
+        return True
+    try:
+        import hashlib
+        from pathlib import Path
 
-    __slots__ = ("env", "callbacks", "_value", "_ok", "_processed", "_defused")
+        source = Path(__file__).with_name("_engine.py").read_bytes()
+    except OSError:
+        return True
+    return hashlib.sha256(source).hexdigest() != recorded
 
-    def __init__(self, env: "Environment") -> None:
-        self.env = env
-        #: Callbacks to invoke when the event is processed.  ``None`` once
-        #: the event has been processed (guards against double-processing).
-        self.callbacks: Optional[list[Callback]] = []
-        self._value: Any = _PENDING
-        self._ok: bool = True
-        self._processed: bool = False
-        self._defused: bool = False
 
-    # -- state inspection ------------------------------------------------
+if _KERNEL_CHOICE == "python":
+    from . import _engine as _impl
+elif _KERNEL_CHOICE == "compiled":
+    try:
+        from . import _engine_c as _impl  # type: ignore[no-redef]
+    except ImportError as _exc:
+        raise ImportError(
+            "REPRO_KERNEL=compiled, but the compiled kernel extension "
+            "repro.sim._engine_c is not built; build it with "
+            "REPRO_BUILD_KERNEL=auto python setup.py build_ext --inplace "
+            "(or use REPRO_KERNEL=python|auto for the pure-Python engine)"
+        ) from _exc
 
-    @property
-    def triggered(self) -> bool:
-        """True once the event has a value and is scheduled to fire."""
-        return self._value is not _PENDING
-
-    @property
-    def processed(self) -> bool:
-        """True once callbacks have been executed."""
-        return self._processed
-
-    @property
-    def ok(self) -> bool:
-        """True if the event succeeded (valid only after triggering)."""
-        if not self.triggered:
-            raise EventLifecycleError(f"{self!r} has not been triggered yet")
-        return self._ok
-
-    @property
-    def value(self) -> Any:
-        """The event's value (or exception, for failed events)."""
-        if self._value is _PENDING:
-            raise EventLifecycleError(f"{self!r} has not been triggered yet")
-        return self._value
-
-    # -- triggering ------------------------------------------------------
-
-    def succeed(self, value: Any = None) -> "Event":
-        """Trigger the event successfully with ``value``.
-
-        Returns ``self`` for chaining (``return event.succeed(x)``).
-        """
-        if self._value is not _PENDING:
-            raise EventLifecycleError(f"{self!r} has already been triggered")
-        self._ok = True
-        self._value = value
-        env = self.env
-        env._seq += 1
-        heappush(env._queue, (env._now, NORMAL, env._seq, self))
-        return self
-
-    def fail(self, exception: BaseException) -> "Event":
-        """Trigger the event with an exception.
-
-        Every process waiting on this event will have ``exception`` thrown
-        into it.  If nobody is waiting and the failure is never *defused*,
-        :meth:`Environment.step` re-raises it so that model bugs cannot pass
-        silently.
-        """
-        if not isinstance(exception, BaseException):
-            raise TypeError(f"fail() needs an exception, got {exception!r}")
-        if self._value is not _PENDING:
-            raise EventLifecycleError(f"{self!r} has already been triggered")
-        self._ok = False
-        self._value = exception
-        env = self.env
-        env._seq += 1
-        heappush(env._queue, (env._now, NORMAL, env._seq, self))
-        return self
-
-    def defuse(self) -> None:
-        """Mark a failed event as handled, silencing the crash-on-fail."""
-        self._defused = True
-
-    def _reset(self) -> None:
-        """Return a processed event to the pristine pending state.
-
-        Internal reuse hook: a single event object can serve many
-        wait/trigger cycles (the node wakeup in
-        :meth:`repro.system.node.Node._server` is the canonical user),
-        avoiding one allocation per idle cycle.  Only safe once the event
-        has been processed and no other party retains a reference that
-        expects the old value.
-        """
-        self.callbacks = []
-        self._value = _PENDING
-        self._ok = True
-        self._processed = False
-        self._defused = False
-
-    # -- composition -----------------------------------------------------
-
-    def __and__(self, other: "Event") -> "AllOf":
-        return AllOf(self.env, [self, other])
-
-    def __or__(self, other: "Event") -> "AnyOf":
-        return AnyOf(self.env, [self, other])
-
-    def __repr__(self) -> str:
-        state = (
-            "processed" if self._processed
-            else "triggered" if self.triggered
-            else "pending"
+    if not _is_compiled_module(_impl):
+        raise ImportError(
+            "REPRO_KERNEL=compiled, but repro.sim._engine_c resolves to a "
+            f"source file ({_impl.__file__}); rebuild with "
+            "REPRO_BUILD_KERNEL=auto python setup.py build_ext --inplace"
         )
-        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+    if _compiled_module_is_stale(_impl):
+        raise ImportError(
+            "REPRO_KERNEL=compiled, but repro.sim._engine_c was built from "
+            "a different _engine.py than the one installed; rebuild with "
+            "REPRO_BUILD_KERNEL=auto python setup.py build_ext --inplace"
+        )
+elif _KERNEL_CHOICE == "auto":
+    try:
+        from . import _engine_c as _impl  # type: ignore[no-redef]
 
+        if not _is_compiled_module(_impl):
+            raise ImportError("stray _engine_c source shadow")
+        if _compiled_module_is_stale(_impl):
+            import warnings
 
-class _PendingType:
-    """Sentinel for "no value yet"; distinct from ``None`` values."""
-
-    __slots__ = ()
-
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return "<PENDING>"
-
-
-_PENDING = _PendingType()
-
-
-class Timeout(Event):
-    """An event that fires automatically after a fixed delay.
-
-    Timeouts dominate event traffic (every service interval and every
-    interarrival gap is one), so construction writes the slots directly and
-    pushes onto the event list inline instead of chaining through
-    ``Event.__init__`` + ``Environment._schedule``.
-    """
-
-    __slots__ = ("delay",)
-
-    def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
-        if delay < 0:
-            raise ValueError(f"negative timeout delay: {delay!r}")
-        self.env = env
-        self.callbacks = []
-        self._value = value
-        self._ok = True
-        self._processed = False
-        self._defused = False
-        self.delay = delay
-        env._seq += 1
-        heappush(env._queue, (env._now + delay, NORMAL, env._seq, self))
-
-    def __repr__(self) -> str:
-        return f"<Timeout delay={self.delay!r} at {id(self):#x}>"
-
-
-class _Sleep(Timeout):
-    """A pooled timeout reserved for kernel-internal sleep cycles.
-
-    Created only via :meth:`Environment._sleep`.  When the run loop
-    finishes processing one of these it returns the object (and its
-    callback list) to the environment's pool for the next ``_sleep`` call,
-    eliminating the two allocations per service interval / interarrival
-    gap that dominate event traffic.  The contract: callers must not
-    retain the event after it fires -- with one exception: the owner of
-    the callbacks may :meth:`cancel` the sleep while it is still pending
-    (this is how preemptive servers revoke a scheduled completion).
-    """
-
-    __slots__ = ()
-
-    def cancel(self) -> None:
-        """Defuse this pending sleep: its callbacks will never run.
-
-        Deleting from the middle of a binary heap is O(n), so the heap
-        entry stays where it is; when the run loop pops it at the
-        original expiry time, the silenced event carries no callbacks and
-        is recycled into the pool exactly like a fired sleep.  The object
-        therefore returns to service automatically -- callers just drop
-        their reference after cancelling.
-
-        Only legal while the sleep is pending: cancelling a processed
-        sleep raises.  That guard is best-effort, though -- it catches a
-        stale cancel only until the pool re-issues the object, after
-        which a retained reference is indistinguishable from the new
-        owner's (a stale cancel would silently clear the new owner's
-        callbacks).  The pool contract is the real protection: drop the
-        reference once the sleep has fired or been cancelled.
-        """
-        callbacks = self.callbacks
-        if self._processed or callbacks is None:
-            # callbacks is None only on the step() reference path; the
-            # run loop re-attaches the (cleared) list when it pools the
-            # object, so _processed is the authoritative check.
-            raise EventLifecycleError(
-                f"cannot cancel {self!r}: it has already been processed"
+            warnings.warn(
+                "repro.sim._engine_c is stale (built from a different "
+                "_engine.py); falling back to the pure-Python kernel -- "
+                "rebuild with REPRO_BUILD_KERNEL=auto python setup.py "
+                "build_ext --inplace",
+                RuntimeWarning,
+                stacklevel=2,
             )
-        callbacks.clear()
+            raise ImportError("stale _engine_c build")
+    except ImportError:
+        from . import _engine as _impl  # type: ignore[no-redef]
+else:
+    raise SimulationError(
+        f"REPRO_KERNEL={_KERNEL_CHOICE!r} is not a kernel; "
+        "use 'python', 'compiled', or 'auto'"
+    )
+
+#: Which engine implementation is active: ``"python"`` or ``"compiled"``.
+KERNEL: str = (
+    "compiled" if _impl.__name__.endswith("_engine_c") else "python"
+)
+
+# Re-exported engine API (unchanged public surface).
+NORMAL = _impl.NORMAL
+URGENT = _impl.URGENT
+Callback = _impl.Callback
+Environment = _impl.Environment
+Event = _impl.Event
+Timeout = _impl.Timeout
+_PENDING = _impl._PENDING
+_Call = _impl._Call
+_Sleep = _impl._Sleep
+_stop_simulation = _impl._stop_simulation
 
 
 class ConditionValue:
@@ -284,11 +194,15 @@ class Condition(Event):
 
     Subclasses define :meth:`_check` deciding when the condition holds.
     A failing constituent event fails the whole condition immediately.
+
+    Conditions are user-model machinery (fork/join composition), not
+    kernel machinery: they live above the engine module and are never on
+    the per-event hot path.
     """
 
     __slots__ = ("_events", "_fired_count")
 
-    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+    def __init__(self, env: Environment, events: Iterable[Event]) -> None:
         super().__init__(env)
         self._events = list(events)
         self._fired_count = 0
@@ -302,7 +216,16 @@ class Condition(Event):
             if event.processed:
                 self._on_fire(event)
             else:
-                event.callbacks.append(self._on_fire)
+                callbacks = event.callbacks
+                if callbacks is None:
+                    # Pending with no callback list: a pooled kernel
+                    # sleep, which is recycled at expiry and must never
+                    # be composed into a condition.
+                    raise SimulationError(
+                        f"cannot wait on a pooled kernel sleep ({event!r});"
+                        " use env.timeout(delay) instead"
+                    )
+                callbacks.append(self._on_fire)
 
     def _on_fire(self, event: Event) -> None:
         if self.triggered:
@@ -337,224 +260,3 @@ class AnyOf(Condition):
 
     def _check(self) -> bool:
         return self._fired_count >= 1
-
-
-class Environment:
-    """Simulation clock, event list, and process launcher.
-
-    Typical use::
-
-        env = Environment()
-
-        def worker(env):
-            yield env.timeout(5)
-            print("done at", env.now)
-
-        env.process(worker(env))
-        env.run(until=100)
-    """
-
-    __slots__ = ("_now", "_queue", "_seq", "_active_process", "_sleep_pool")
-
-    def __init__(self, initial_time: float = 0.0) -> None:
-        self._now = float(initial_time)
-        self._queue: list[tuple[float, int, int, Event]] = []
-        self._seq = 0
-        self._active_process = None  # set by Process while running
-        self._sleep_pool: list[_Sleep] = []
-
-    # -- clock -----------------------------------------------------------
-
-    @property
-    def now(self) -> float:
-        """Current simulation time."""
-        return self._now
-
-    @property
-    def active_process(self):
-        """The :class:`~repro.sim.process.Process` currently executing."""
-        return self._active_process
-
-    # -- event construction ----------------------------------------------
-
-    def event(self) -> Event:
-        """Create a new, untriggered event."""
-        return Event(self)
-
-    def timeout(self, delay: float, value: Any = None) -> Timeout:
-        """Create an event that fires ``delay`` time units from now."""
-        return Timeout(self, delay, value)
-
-    def _sleep(self, delay: float) -> Timeout:
-        """Pooled :class:`Timeout` for kernel-internal hot loops.
-
-        Same semantics as ``timeout(delay)``, but the returned event is
-        recycled by the run loop once it has fired, so callers (node
-        servers, workload sources) MUST NOT retain it afterwards.  Use
-        :meth:`timeout` anywhere the event may outlive its firing.
-        """
-        pool = self._sleep_pool
-        if not pool:
-            return _Sleep(self, delay)
-        if delay < 0:
-            raise ValueError(f"negative timeout delay: {delay!r}")
-        event = pool.pop()
-        event.delay = delay
-        event._processed = False
-        # callbacks is already a fresh empty list, _value None, _ok True.
-        self._seq += 1
-        heappush(self._queue, (self._now + delay, NORMAL, self._seq, event))
-        return event
-
-    def all_of(self, events: Iterable[Event]) -> AllOf:
-        """Create an event that fires once all of ``events`` have fired."""
-        return AllOf(self, events)
-
-    def any_of(self, events: Iterable[Event]) -> AnyOf:
-        """Create an event that fires once any of ``events`` has fired."""
-        return AnyOf(self, events)
-
-    def process(self, generator: Generator) -> "Process":
-        """Start a new process running ``generator``."""
-        global _Process
-        if _Process is None:  # resolved once; avoids a per-call import
-            from .process import Process as _Process
-        return _Process(self, generator)
-
-    # -- scheduling ------------------------------------------------------
-
-    def _schedule(self, event: Event, priority: int, delay: float) -> None:
-        """Place a triggered event on the event list."""
-        if delay < 0:
-            raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        self._seq += 1
-        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
-
-    def _schedule_call(
-        self,
-        callback: Callback,
-        ok: bool = True,
-        value: Any = None,
-        defused: bool = False,
-        priority: int = URGENT,
-    ) -> Event:
-        """Schedule a lightweight single-callback event at the current time.
-
-        Internal fast path for kernel bookkeeping (start-of-process kicks,
-        interrupt pokes, already-fired-target resumptions, node server
-        wake-ups): builds a bare :class:`Event` without running
-        ``__init__``/``succeed`` and places it on the event list, by
-        default with :data:`URGENT` priority so it runs before any normal
-        event at the same timestamp.
-        """
-        event = Event.__new__(Event)
-        event.env = self
-        event.callbacks = [callback]
-        event._value = value
-        event._ok = ok
-        event._processed = False
-        event._defused = defused
-        self._seq += 1
-        heappush(self._queue, (self._now, priority, self._seq, event))
-        return event
-
-    def peek(self) -> float:
-        """Time of the next scheduled event, or ``inf`` if none."""
-        return self._queue[0][0] if self._queue else float("inf")
-
-    def step(self) -> None:
-        """Process the single next event.
-
-        Raises :class:`IndexError` style :class:`SimulationError` when the
-        event list is empty, and re-raises the exception of any failed
-        event that no process defused.
-        """
-        if not self._queue:
-            raise SimulationError("no more events to process")
-        when, _priority, _seq, event = heapq.heappop(self._queue)
-        self._now = when
-        callbacks, event.callbacks = event.callbacks, None
-        event._processed = True
-        for callback in callbacks:
-            callback(event)
-        if not event._ok and not event._defused:
-            # Nobody handled the failure: crash loudly per the Zen of Python.
-            exc = event.value
-            raise exc
-
-    def run(self, until: Any = None) -> Any:
-        """Run the simulation.
-
-        ``until`` may be:
-
-        * ``None`` -- run until the event list is exhausted;
-        * a number -- run until the clock reaches that time;
-        * an :class:`Event` -- run until that event is processed, returning
-          its value.
-        """
-        if until is None:
-            stop_at = float("inf")
-            stop_event: Optional[Event] = None
-        elif isinstance(until, Event):
-            stop_at = float("inf")
-            stop_event = until
-            if until.callbacks is not None:
-                until.callbacks.append(_stop_simulation)
-            elif until.triggered:
-                return until.value
-        else:
-            stop_at = float(until)
-            if stop_at < self._now:
-                raise SimulationError(
-                    f"until={stop_at} lies in the past (now={self._now})"
-                )
-            stop_event = None
-
-        # Inlined copy of step() -- see that method for the commented
-        # reference semantics.  Dispatching an event here costs one heappop
-        # plus the callback calls; the method-call version pays a peek(),
-        # a step() call, and several attribute lookups per event, which at
-        # millions of events per run dominates wall-clock time.
-        queue = self._queue
-        pop = heappop
-        sleep_pool = self._sleep_pool
-        try:
-            while queue:
-                when, _priority, _seq, event = pop(queue)
-                if when > stop_at:
-                    # Beyond the horizon: put it back for a later run().
-                    heappush(queue, (when, _priority, _seq, event))
-                    self._now = stop_at
-                    break
-                self._now = when
-                callbacks = event.callbacks
-                event.callbacks = None
-                event._processed = True
-                for callback in callbacks:
-                    callback(event)
-                if not event._ok and not event._defused:
-                    raise event._value
-                if type(event) is _Sleep:
-                    # Recycle the pooled sleep (and its callback list) for
-                    # the next Environment._sleep call.
-                    callbacks.clear()
-                    event.callbacks = callbacks
-                    sleep_pool.append(event)
-        except StopSimulation as stop:
-            return stop.value
-        else:
-            if stop_event is not None and not stop_event.triggered:
-                raise SimulationError(
-                    "run(until=event) exhausted the event list before the "
-                    "event was triggered"
-                )
-            if stop_event is None and until is not None and self._now < stop_at:
-                # Queue drained before the horizon: advance the clock so
-                # time-weighted statistics cover the whole requested window.
-                self._now = stop_at
-        return None
-
-
-def _stop_simulation(event: Event) -> None:
-    """Callback attached to ``run(until=event)`` targets."""
-    raise StopSimulation(event.value)

@@ -18,6 +18,47 @@ import math
 from typing import List, Optional
 
 
+class MeanTally:
+    """Streaming *mean-only* summary of individual observations.
+
+    The count/mean subset of :class:`Tally`, for accumulators whose
+    snapshots only ever report a mean (the per-class response/lateness/
+    waiting statistics behind :class:`~repro.system.metrics.ClassStats`):
+    the variance/min/max/total bookkeeping is real arithmetic on the
+    per-completion hot path, and maintaining it for nobody is the most
+    expensive no-op in the engine.  The mean update is Welford's, bit
+    for bit the same as :class:`Tally`'s, so swapping the two never
+    perturbs a pinned result.  Use :class:`Tally` anywhere a spread
+    statistic might be wanted.
+    """
+
+    __slots__ = ("name", "count", "_mean")
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.count = 0
+        self._mean = 0.0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        count = self.count + 1
+        self.count = count
+        self._mean += (value - self._mean) / count
+
+    @property
+    def mean(self) -> float:
+        """Sample mean (``nan`` with no observations)."""
+        return self._mean if self.count else math.nan
+
+    def reset(self) -> None:
+        """Discard everything recorded so far (warm-up truncation)."""
+        self.count = 0
+        self._mean = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<MeanTally {self.name!r} n={self.count} mean={self.mean:.6g}>"
+
+
 class Tally:
     """Streaming summary of individual observations (Welford's algorithm)."""
 

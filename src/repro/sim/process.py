@@ -1,16 +1,36 @@
-"""Generator-based simulation processes.
+"""Generator-based simulation processes (user-model layer).
 
 A *process* wraps a Python generator.  The generator models an active
-entity (a task source, a node's server loop, a process manager walking a
-task tree).  Each time the generator ``yield``s an :class:`Event`, the
-process suspends until the event fires, then resumes with the event's
-value (or with the event's exception thrown into it).
+entity (a task source in a hand-written model, a driver in a test, an
+example script's workflow).  Each time the generator ``yield``s an
+:class:`Event`, the process suspends until the event fires, then resumes
+with the event's value (or with the event's exception thrown into it).
 
 A :class:`Process` is itself an event: it fires when its generator ends,
 carrying the generator's return value.  That makes "fork/join" trivial::
 
     children = [env.process(run_subtask(env, t)) for t in subtasks]
     yield env.all_of(children)      # parallel join
+
+Processes are **not** engine machinery.  Since the callback rewrites of
+the node servers, the coordinator, and the workload sources, nothing on
+the simulator's hot path runs a generator; the engine module
+(:mod:`repro.sim._engine`) knows nothing about processes beyond the
+generic ``_schedule_call`` primitive this class is built on.  Processes
+remain fully supported as the convenient way to write *user models*
+(examples, tests, ad-hoc drivers).
+
+Interrupt compatibility layer
+-----------------------------
+
+:meth:`Process.interrupt` and the :class:`~repro.sim.errors.Interrupt`
+exception are likewise pure user-model API.  The engine itself never
+interrupts anything — preemptive servers revoke service with
+cancellable kernel timers (:meth:`repro.sim._engine._Sleep.cancel`),
+and no exception-driven control flow exists anywhere on the event
+path.  The machinery is kept (and tested) so that hand-written models
+can interrupt their own processes; it is implemented entirely here, as
+a thin layer over ``_schedule_call``.
 """
 
 from __future__ import annotations
@@ -61,13 +81,15 @@ class Process(Event):
         """The event the process is currently waiting for."""
         return self._target
 
-    # -- interruption ------------------------------------------------------
+    # -- interruption (user-model compatibility layer) ---------------------
 
     def interrupt(self, cause: Any = None) -> None:
         """Throw :class:`Interrupt` into the process at the current time.
 
-        Interrupting a dead process is an error; interrupting a process
-        twice before it resumes queues both interrupts in order.
+        Compatibility API for user models (see the module docstring: the
+        engine never interrupts anything).  Interrupting a dead process
+        is an error; interrupting a process twice before it resumes
+        queues both interrupts in order.
         """
         if not self.is_alive:
             raise ProcessError(f"cannot interrupt dead process {self.name!r}")
@@ -122,7 +144,8 @@ class Process(Event):
             if callbacks is not None:
                 callbacks.append(self._resume)
                 self._target = target
-            else:
+                return
+            if target._processed:
                 # Already processed: resume immediately at the current time.
                 ok = target._ok
                 if not ok:
@@ -130,12 +153,21 @@ class Process(Event):
                 env._schedule_call(
                     self._resume, ok=ok, value=target._value, defused=not ok
                 )
-            return
-
-        error = ProcessError(
-            f"process {self.name!r} yielded {target!r}; processes may "
-            "only yield Event instances"
-        )
+                return
+            # Pending but no callback list: a pooled kernel sleep.  Those
+            # carry a single engine-internal callback slot and are
+            # recycled at expiry, so a process must never wait on one --
+            # fail loudly instead of resuming at the wrong time.
+            error: ProcessError = ProcessError(
+                f"process {self.name!r} yielded a pooled kernel sleep "
+                f"({target!r}); these are engine-internal -- yield "
+                "env.timeout(delay) instead"
+            )
+        else:
+            error = ProcessError(
+                f"process {self.name!r} yielded {target!r}; processes may "
+                "only yield Event instances"
+            )
         try:
             self._generator.throw(error)
         except StopIteration:

@@ -19,7 +19,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from ..core.task import TaskClass
-from ..sim.monitor import Tally, TimeWeighted
+from ..sim.monitor import MeanTally, TimeWeighted
 from .work import WorkUnit
 
 
@@ -55,6 +55,11 @@ class NodeStats:
     utilization: float
     mean_queue_length: float
     dispatched: int
+    #: Preemption events at this node within the measured window (always
+    #: 0 for non-preemptive nodes).  Unlike the node object's lifetime
+    #: ``preemptions`` diagnostic, this counter restarts at the warm-up
+    #: reset, so sweeps can rank scenarios/strategies by preemption rate.
+    preemptions: int = 0
 
 
 @dataclass(frozen=True)
@@ -91,6 +96,11 @@ class RunResult:
             return float("nan")
         return sum(n.utilization for n in self.per_node) / len(self.per_node)
 
+    @property
+    def total_preemptions(self) -> int:
+        """Preemption events across all nodes in the measured window."""
+        return sum(n.preemptions for n in self.per_node)
+
 
 class _ClassAccumulator:
     """Mutable per-class counters behind :class:`ClassStats`."""
@@ -101,9 +111,9 @@ class _ClassAccumulator:
         self.completed = 0
         self.missed = 0
         self.aborted = 0
-        self.response = Tally(f"{label}/response")
-        self.lateness = Tally(f"{label}/lateness")
-        self.waiting = Tally(f"{label}/waiting")
+        self.response = MeanTally(f"{label}/response")
+        self.lateness = MeanTally(f"{label}/lateness")
+        self.waiting = MeanTally(f"{label}/waiting")
 
     def reset(self) -> None:
         self.completed = 0
@@ -144,6 +154,9 @@ class MetricsCollector:
             TimeWeighted(f"node-{i}/queue") for i in range(node_count)
         ]
         self.node_dispatched: List[int] = [0] * node_count
+        #: Per-node preemption counts (preemptive nodes increment their
+        #: slot inline; reset at warm-up like ``node_dispatched``).
+        self.node_preemptions: List[int] = [0] * node_count
         self._warmup_end = 0.0
         self._tracer = None
 
@@ -175,9 +188,46 @@ class MetricsCollector:
         Global subtasks are not recorded here: the paper's ``MD_global`` is
         an end-to-end measure, recorded once per global task by
         :meth:`record_global_completion`.
+
+        The body inlines the equivalents of ``timing.missed`` /
+        ``.response_time`` / ``.lateness`` / ``.waiting_time`` plus the
+        three ``MeanTally.observe`` calls (Welford's mean update, same
+        arithmetic).  This runs once per completed unit, and the
+        property chain plus the call frames cost more than the whole
+        update.  A node only records after stamping ``completed_at``,
+        so the property guards cannot fire here.
         """
-        if unit.task_class is _LOCAL:
-            self._record(self._local_acc, unit)
+        if unit.task_class is not _LOCAL:
+            return
+        acc = self._local_acc
+        timing = unit.timing
+        if timing.aborted:
+            acc.aborted += 1
+            acc.missed += 1
+            return
+        acc.completed += 1
+        completed_at = timing.completed_at
+        deadline = timing.dl
+        if completed_at > deadline:
+            acc.missed += 1
+        arrival = timing.ar
+
+        tally = acc.response
+        count = tally.count + 1
+        tally.count = count
+        tally._mean += (completed_at - arrival - tally._mean) / count
+
+        tally = acc.lateness
+        count = tally.count + 1
+        tally.count = count
+        tally._mean += (completed_at - deadline - tally._mean) / count
+
+        started_at = timing.started_at
+        if started_at is not None:
+            tally = acc.waiting
+            count = tally.count + 1
+            tally.count = count
+            tally._mean += (started_at - arrival - tally._mean) / count
 
     def record_global_completion(
         self,
@@ -203,66 +253,6 @@ class MetricsCollector:
         acc.response.observe(response_time)
         acc.lateness.observe(lateness)
 
-    def _record(self, acc: _ClassAccumulator, unit: WorkUnit) -> None:
-        # Inlined equivalents of timing.missed / .response_time / .lateness
-        # / .waiting_time plus the three Tally.observe calls (Welford's
-        # update, same arithmetic): this runs once per completed unit, and
-        # the property chain plus three call frames cost more than the
-        # whole update.  A node only records after stamping completed_at,
-        # so the property guards cannot fire here.
-        timing = unit.timing
-        if timing.aborted:
-            acc.aborted += 1
-            acc.missed += 1
-            return
-        acc.completed += 1
-        completed_at = timing.completed_at
-        deadline = timing.dl
-        if completed_at > deadline:
-            acc.missed += 1
-        arrival = timing.ar
-
-        tally = acc.response
-        value = completed_at - arrival
-        count = tally.count + 1
-        tally.count = count
-        tally.total += value
-        delta = value - tally._mean
-        tally._mean += delta / count
-        tally._m2 += delta * (value - tally._mean)
-        if value < tally.min:
-            tally.min = value
-        if value > tally.max:
-            tally.max = value
-
-        tally = acc.lateness
-        value = completed_at - deadline
-        count = tally.count + 1
-        tally.count = count
-        tally.total += value
-        delta = value - tally._mean
-        tally._mean += delta / count
-        tally._m2 += delta * (value - tally._mean)
-        if value < tally.min:
-            tally.min = value
-        if value > tally.max:
-            tally.max = value
-
-        started_at = timing.started_at
-        if started_at is not None:
-            tally = acc.waiting
-            value = started_at - arrival
-            count = tally.count + 1
-            tally.count = count
-            tally.total += value
-            delta = value - tally._mean
-            tally._mean += delta / count
-            tally._m2 += delta * (value - tally._mean)
-            if value < tally.min:
-                tally.min = value
-            if value > tally.max:
-                tally.max = value
-
     def count_dispatch(self, node_index: int) -> None:
         """Count one dispatch decision at a node."""
         self.node_dispatched[node_index] += 1
@@ -277,8 +267,9 @@ class MetricsCollector:
             signal.reset(now)
         for signal in self.node_queue:
             signal.reset(now)
-        # In place: node server loops hold a reference to this list.
+        # In place: node server loops hold references to these lists.
         self.node_dispatched[:] = [0] * len(self.node_dispatched)
+        self.node_preemptions[:] = [0] * len(self.node_preemptions)
         self._warmup_end = now
 
     def snapshot(self, now: float) -> RunResult:
@@ -289,6 +280,7 @@ class MetricsCollector:
                 utilization=self.node_busy[i].mean_at(now),
                 mean_queue_length=self.node_queue[i].mean_at(now),
                 dispatched=self.node_dispatched[i],
+                preemptions=self.node_preemptions[i],
             )
             for i in range(len(self.node_busy))
         ]

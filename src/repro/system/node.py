@@ -32,7 +32,7 @@ from __future__ import annotations
 from heapq import heappop, heappush
 from typing import Optional
 
-from ..sim.core import NORMAL, Environment, Event
+from ..sim.core import NORMAL, Environment, Event, _Call
 from .metrics import MetricsCollector
 from .overload import NoAbort, OverloadPolicy
 from .schedulers import ReadyQueue, SchedulingPolicy
@@ -76,7 +76,15 @@ class Node:
         self._queue_key = queue._key
         self._queue_seq = queue._seq
         self._on_complete = self._complete
-        self._on_wake = self._wake
+        self._on_wake = self._dispatch_next
+        # The idle wake-up, pooled: one bare kernel call per node, reused
+        # for every schedule (the callback slot is never detached, so
+        # there is nothing to re-arm).  ``_wake_pending`` guarantees at
+        # most one outstanding schedule, so reuse is safe; the base class
+        # appends it to the kernel's urgent deque directly (the classic
+        # URGENT ``_schedule_call``), the preemptive subclass pushes it
+        # as a NORMAL heap entry.
+        self._wake_event = _Call(self._on_wake)
         overload = self.overload_policy
         self._abort_check = (
             None
@@ -143,12 +151,9 @@ class Node:
         # slip a later unit in front).
         if not self._busy and not self._wake_pending:
             self._wake_pending = True
-            self.env._schedule_call(self._on_wake)
-
-    def _wake(self, _event) -> None:
-        """Deferred idle-server wake-up: start serving."""
-        self._wake_pending = False
-        self._dispatch_next()
+            # Inlined urgent _schedule_call with the pooled wake event:
+            # no allocation, no heap entry.
+            self.env._urgent.append(self._wake_event)
 
     @property
     def busy(self) -> bool:
@@ -162,17 +167,23 @@ class Node:
 
     # -- server state machine -------------------------------------------------
 
-    def _dispatch_next(self) -> None:
+    def _dispatch_next(self, _event=None) -> None:
         """Serve the highest-priority queued unit, or go idle.
 
-        Runs at submission time (when idle) and from the completion
-        callback; immediate aborts drain in the loop without touching the
-        event list.
+        Runs from the deferred idle wake (as its event callback — the
+        ``_event`` argument — clearing ``_wake_pending`` on entry, which
+        is a no-op on the other paths since a wake is only ever pending
+        while the server is idle) and from the completion callback;
+        immediate aborts drain in the loop without touching the event
+        list.
         """
+        self._wake_pending = False
+        heap = self._heap
+        if not heap:
+            return
         env = self.env
         index = self.index
         metrics = self.metrics
-        heap = self._heap
         queue_signal = self._queue_signal
         abort_check = self._abort_check
         while heap:
@@ -219,7 +230,21 @@ class Node:
                 metrics._tracer.record(now, "dispatch", unit, index)
             speed = self.speed
             service = timing.ex if speed == 1.0 else timing.ex / speed
-            env._sleep(service).callbacks.append(self._on_complete)
+            # Inlined env._sleep(service, self._on_complete): the service
+            # timer is armed once per dispatched unit, and the method
+            # frame alone is measurable at that rate.
+            pool = env._sleep_pool
+            if pool and service >= 0.0:
+                sleep = pool.pop()
+                sleep.delay = service
+                sleep.callback = self._on_complete
+                sleep._processed = False
+                heappush(
+                    env._queue,
+                    (env._now + service, env._next_seq(), sleep),
+                )
+            else:
+                env._sleep(service, self._on_complete)
             return
 
     def _complete(self, _event) -> None:

@@ -40,10 +40,12 @@ hot path.  Dispatch schedules a pooled, *cancellable* completion timer
 (:meth:`repro.sim.core._Sleep.cancel`); preemption cancels it, computes
 the remaining demand, re-enqueues the unit, and re-dispatches, all in one
 urgent callback.  Event ordering is bit-identical to the old generator
-server: the idle wake-up is a NORMAL-priority event (where the generator
-server triggered its wakeup event) and the preemption poke is an URGENT
-event (where the generator server scheduled its interrupt), each
-consuming one event-list sequence number at the same points.
+server: the idle wake-up is a NORMAL-priority heap entry (where the
+generator server triggered its wakeup event, consuming one event-list
+sequence number at the same point) and the preemption poke rides the
+kernel's urgent deque (where the generator server scheduled its
+interrupt — urgent dispatch order is unchanged, see
+:mod:`repro.sim._engine`).
 """
 
 from __future__ import annotations
@@ -51,7 +53,7 @@ from __future__ import annotations
 from heapq import heappop, heappush
 from typing import Optional
 
-from ..sim.core import NORMAL, URGENT, Environment, Event
+from ..sim.core import NORMAL, Environment, _Call
 from .metrics import MetricsCollector
 from .node import Node
 from .overload import OverloadPolicy
@@ -87,18 +89,13 @@ class PreemptiveNode(Node):
         self._service_began = 0.0
         self._service_demand = 0.0
         super().__init__(env, index, policy, metrics, overload_policy, speed)
+        self._preempt_counts = metrics.node_preemptions
         self._on_preempt = self._preempt
-        # The urgent preemption poke, pooled: one bare event per node,
-        # re-armed by the handler each time it fires.  ``_preempt_pending``
+        # The urgent preemption poke, pooled: one bare kernel call per
+        # node, reused for every schedule (the callback slot is never
+        # detached, so there is nothing to re-arm).  ``_preempt_pending``
         # guarantees at most one outstanding schedule, so reuse is safe.
-        poke = Event.__new__(Event)
-        poke.env = env
-        poke.callbacks = self._poke_callbacks = [self._on_preempt]
-        poke._value = None
-        poke._ok = True
-        poke._processed = False
-        poke._defused = True
-        self._poke = poke
+        self._poke = _Call(self._on_preempt)
 
     @property
     def preemptions(self) -> int:
@@ -147,9 +144,13 @@ class PreemptiveNode(Node):
         if not self._busy:
             # Deferred dispatch, one NORMAL event: same-instant
             # submissions are scheduled as a batch, ordered by the policy.
+            # Inlined NORMAL-priority _schedule_call with the pooled wake
+            # event (the generator server's wakeup fired at NORMAL, and
+            # the golden gate pins that ordering): same time and sequence
+            # consumption, no allocation.
             if not self._wake_pending:
                 self._wake_pending = True
-                env._schedule_call(self._on_wake, priority=NORMAL)
+                heappush(env._queue, (now, env._next_seq(), self._wake_event))
             return
         serving = self._serving
         if serving is not None and not self._preempt_pending:
@@ -166,30 +167,38 @@ class PreemptiveNode(Node):
                 # One urgent poke per preemption decision: the re-dispatch
                 # re-picks the best queued unit, so further same-instant
                 # arrivals need no second poke (see ``_preempt_pending``).
-                # Scheduling inlines ``_schedule_call`` with the pooled
-                # poke event: same time, URGENT priority, and sequence
-                # consumption, no allocation.
+                # Scheduling inlines the urgent ``_schedule_call`` with
+                # the pooled poke event: straight onto the kernel's
+                # urgent deque, no allocation, no heap entry.
                 self._preempt_pending = True
                 self._preemptions += 1
-                env._seq += 1
-                heappush(env._queue, (now, URGENT, env._seq, self._poke))
+                # Separate measured-window counter (reset at warm-up):
+                # feeds NodeStats.preemptions so sweeps can rank by
+                # preemption rate; ``self._preemptions`` stays the
+                # lifetime diagnostic the node repr shows.
+                self._preempt_counts[self.index] += 1
+                env._urgent.append(self._poke)
 
     # -- server state machine ------------------------------------------------
 
-    def _dispatch_next(self) -> None:
+    def _dispatch_next(self, _event=None) -> None:
         """Serve the highest-priority queued unit (for its *remaining*
         demand, scaled by the node speed), or go idle.
 
-        Runs from the idle wake, the completion callback, and the
-        preemption callback; immediate aborts drain in the loop without
-        touching the event list.
+        Runs from the idle wake (as its event callback, clearing
+        ``_wake_pending`` on entry like the base class), the completion
+        callback, and the preemption callback; immediate aborts drain in
+        the loop without touching the event list.
         """
+        self._wake_pending = False
+        heap = self._heap
+        if not heap:
+            return
         env = self.env
         index = self.index
         metrics = self.metrics
         tracer = metrics._tracer
         dispatched = metrics.node_dispatched
-        heap = self._heap
         queue_signal = self._queue_signal
         abort_check = self._abort_check
         remaining = self._remaining
@@ -242,8 +251,20 @@ class PreemptiveNode(Node):
             # The homogeneous path keeps the exact ``demand`` delay (no
             # division), so fixed-seed results are bit-identical.
             service = demand if speed == 1.0 else demand / speed
-            sleep = env._sleep(service)
-            sleep.callbacks.append(self._on_complete)
+            # Inlined env._sleep(service, self._on_complete), keeping the
+            # cancellable timer (cf. Node._dispatch_next).
+            pool = env._sleep_pool
+            if pool and service >= 0.0:
+                sleep = pool.pop()
+                sleep.delay = service
+                sleep.callback = self._on_complete
+                sleep._processed = False
+                heappush(
+                    env._queue,
+                    (env._now + service, env._next_seq(), sleep),
+                )
+            else:
+                sleep = env._sleep(service, self._on_complete)
             self._sleep = sleep
             return
 
@@ -258,11 +279,6 @@ class PreemptiveNode(Node):
         submission take the non-preempting path).
         """
         self._preempt_pending = False
-        # Re-arm the pooled poke for its next schedule (the run loop just
-        # detached its callback list and marked it processed).
-        poke = self._poke
-        poke.callbacks = self._poke_callbacks
-        poke._processed = False
         unit = self._serving
         self._serving = None
         env = self.env

@@ -32,9 +32,11 @@ The SDA strategies, in contrast, only ever see ``pex``.
 from __future__ import annotations
 
 from bisect import bisect_right
+from heapq import heappush
 from typing import List, Optional, Sequence, Tuple
 
 from ..core.estimators import Estimator, PerfectEstimator
+from ..core.strategies.base import PriorityClass
 from ..core.task import (
     ParallelTask,
     SerialTask,
@@ -49,9 +51,10 @@ from ..sim.rng import StreamFactory
 from .node import Node
 from .placement import PlacementPolicy, UniformPlacement
 from .process_manager import ProcessManager
-from .work import WorkUnit
+from .work import WorkUnit, _unit_counter
 
 _LOCAL = TaskClass.LOCAL
+_PRIORITY_NORMAL = PriorityClass.NORMAL
 
 
 class PiecewiseProfile:
@@ -170,7 +173,7 @@ class LocalTaskSource:
         gap = self._next_interarrival()
         if profile is not None:
             gap /= profile(env._now)
-        env._sleep(gap).callbacks.append(self._on_arrive)
+        env._sleep(gap, self._on_arrive)
 
     def _arrive(self, _event) -> None:
         """Generate one local task, then schedule the next arrival."""
@@ -180,21 +183,45 @@ class LocalTaskSource:
         slack = self._next_slack()
         predict = self._predict
         ar = env._now
-        # Inlined timing-record construction (cf. core.timing.fast_timing):
-        # one record per local task for the whole run, and even the helper
-        # call frame is measurable at that rate.
+        # Inlined timing-record and work-unit construction (cf.
+        # core.timing.fast_timing and WorkUnit.__init__, same stores):
+        # one of each per local task for the whole run, and even the
+        # constructor call frames are measurable at that rate.
         timing = TimingRecord.__new__(TimingRecord)
         timing.ar = ar
         timing.ex = ex
         timing.pex = ex if predict is None else predict(ex, self._estimate_stream)
-        timing.dl = ar + ex + slack
+        dl = ar + ex + slack
+        timing.dl = dl
         timing.completed_at = None
         timing.started_at = None
         timing.aborted = False
-        self._submit(
-            WorkUnit(env, None, _LOCAL, self._node_index, timing)
-        )
-        env._sleep(self._next_interarrival()).callbacks.append(self._on_arrive)
+        unit = WorkUnit.__new__(WorkUnit)
+        unit.id = next(_unit_counter)
+        unit.env = env
+        unit._name = None
+        unit.task_class = _LOCAL
+        unit.node_index = self._node_index
+        unit.timing = timing
+        unit.priority_class = _PRIORITY_NORMAL
+        unit._done = None
+        unit.on_done = None
+        unit.global_id = None
+        unit.stage = None
+        unit.natural_deadline = dl
+        self._submit(unit)
+        # Inlined env._sleep(gap, self._on_arrive): one next-arrival
+        # timer per task for the whole run (cf. Node._dispatch_next).
+        gap = self._next_interarrival()
+        pool = env._sleep_pool
+        if pool and gap >= 0.0:
+            sleep = pool.pop()
+            sleep.delay = gap
+            sleep.callback = self._on_arrive
+            sleep._processed = False
+            heappush(env._queue, (env._now + gap, env._next_seq(), sleep))
+        else:
+            env._sleep(gap, self._on_arrive)
 
     def _arrive_modulated(self, _event) -> None:
         """Like :meth:`_arrive`, with the next gap scaled by the load
@@ -209,15 +236,35 @@ class LocalTaskSource:
         timing.ar = ar
         timing.ex = ex
         timing.pex = ex if predict is None else predict(ex, self._estimate_stream)
-        timing.dl = ar + ex + slack
+        dl = ar + ex + slack
+        timing.dl = dl
         timing.completed_at = None
         timing.started_at = None
         timing.aborted = False
-        self._submit(
-            WorkUnit(env, None, _LOCAL, self._node_index, timing)
-        )
+        unit = WorkUnit.__new__(WorkUnit)
+        unit.id = next(_unit_counter)
+        unit.env = env
+        unit._name = None
+        unit.task_class = _LOCAL
+        unit.node_index = self._node_index
+        unit.timing = timing
+        unit.priority_class = _PRIORITY_NORMAL
+        unit._done = None
+        unit.on_done = None
+        unit.global_id = None
+        unit.stage = None
+        unit.natural_deadline = dl
+        self._submit(unit)
         gap = self._next_interarrival() / self._profile(ar)
-        env._sleep(gap).callbacks.append(self._on_arrive)
+        pool = env._sleep_pool
+        if pool and gap >= 0.0:
+            sleep = pool.pop()
+            sleep.delay = gap
+            sleep.callback = self._on_arrive
+            sleep._processed = False
+            heappush(env._queue, (env._now + gap, env._next_seq(), sleep))
+        else:
+            env._sleep(gap, self._on_arrive)
 
 
 class GlobalTaskFactory:
@@ -483,7 +530,7 @@ class GlobalTaskSource:
         gap = self._next_interarrival()
         if profile is not None:
             gap /= profile(env._now)
-        env._sleep(gap).callbacks.append(self._on_arrive)
+        env._sleep(gap, self._on_arrive)
 
     def _arrive(self, _event) -> None:
         """Launch one global task, then schedule the next arrival."""
@@ -491,7 +538,9 @@ class GlobalTaskSource:
         self.generated += 1
         tree, deadline = self._build(env._now)
         self._submit(tree, deadline)
-        env._sleep(self._next_interarrival()).callbacks.append(self._on_arrive)
+        # Global arrivals are orders of magnitude rarer than local ones,
+        # so the plain kernel call (no inlined arming) is fine here.
+        env._sleep(self._next_interarrival(), self._on_arrive)
 
     def _arrive_modulated(self, _event) -> None:
         """Like :meth:`_arrive`, with the next gap scaled by the load
@@ -502,4 +551,4 @@ class GlobalTaskSource:
         tree, deadline = self._build(now)
         self._submit(tree, deadline)
         gap = self._next_interarrival() / self._profile(now)
-        env._sleep(gap).callbacks.append(self._on_arrive)
+        env._sleep(gap, self._on_arrive)

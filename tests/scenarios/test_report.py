@@ -74,6 +74,14 @@ class TestSweepResult:
         assert "MD_global" in table
         assert "seed 11" in table
 
+    def test_table_surfaces_preemption_counts(self, sweep_result):
+        """The sweep report carries the per-cell preemption total (0 for
+        these non-preemptive scenarios, > 0 for preemptive ones)."""
+        table = sweep_result.table()
+        assert "preempt" in table
+        for cell in sweep_result.cells:
+            assert cell.estimate.preemptions == 0
+
     def test_deterministic_across_invocations(self, sweep_result):
         again = run_scenario_sweep(SPECS, STRATEGIES, scale=TINY, seed=11)
         for cell, cell2 in zip(sweep_result.cells, again.cells):

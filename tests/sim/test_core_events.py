@@ -206,16 +206,15 @@ class TestCancellableSleep:
     leaking the pooled object or corrupting a later reuse of it).
     """
 
-    def test_cancelled_sleep_never_fires_callbacks(self, env):
+    def test_cancelled_sleep_never_fires_callback(self, env):
         fired = []
-        sleep = env._sleep(5.0)
-        sleep.callbacks.append(lambda event: fired.append(event))
+        sleep = env._sleep(5.0, lambda event: fired.append(event))
         sleep.cancel()
         env.run(until=10.0)
         assert fired == []
 
     def test_cancelled_sleep_returns_to_pool_at_expiry(self, env):
-        sleep = env._sleep(5.0)
+        sleep = env._sleep(5.0, lambda event: None)
         sleep.cancel()
         assert sleep not in env._sleep_pool  # still parked in the heap
         env.run(until=10.0)
@@ -224,44 +223,39 @@ class TestCancellableSleep:
     def test_cancel_then_resleep_uses_a_fresh_object(self, env):
         """Until its stale heap entry pops, a cancelled sleep must NOT be
         reused -- a second heap entry for the same object would fire the
-        new owner's callbacks at the old expiry."""
-        first = env._sleep(5.0)
-        first.cancel()
-        second = env._sleep(1.0)
-        assert second is not first
-
+        new owner's callback at the old expiry."""
         fired = []
-        second.callbacks.append(lambda event: fired.append(env.now))
+        first = env._sleep(5.0, lambda event: None)
+        first.cancel()
+        second = env._sleep(1.0, lambda event: fired.append(env.now))
+        assert second is not first
         env.run(until=10.0)
         assert fired == [1.0]
 
     def test_recycled_after_cancellation_fires_normally(self, env):
         """Once recycled through the pool, a previously cancelled object
         serves later sleeps exactly like a fresh one."""
-        first = env._sleep(2.0)
+        first = env._sleep(2.0, lambda event: None)
         first.cancel()
         env.run(until=3.0)  # stale entry pops; object returns to the pool
         assert first in env._sleep_pool
 
-        reused = env._sleep(4.0)
-        assert reused is first
         fired = []
-        reused.callbacks.append(lambda event: fired.append(env.now))
+        reused = env._sleep(4.0, lambda event: fired.append(env.now))
+        assert reused is first
         env.run(until=10.0)
         assert fired == [7.0]
 
     def test_cancel_processed_sleep_raises(self, env):
-        sleep = env._sleep(1.0)
+        sleep = env._sleep(1.0, lambda event: None)
         env.run(until=2.0)
         with pytest.raises(EventLifecycleError):
             sleep.cancel()
 
     def test_cancellation_does_not_disturb_other_events(self, env):
         order = []
-        keep = env._sleep(3.0)
-        keep.callbacks.append(lambda event: order.append("keep"))
-        victim = env._sleep(1.0)
-        victim.callbacks.append(lambda event: order.append("victim"))
+        env._sleep(3.0, lambda event: order.append("keep"))
+        victim = env._sleep(1.0, lambda event: order.append("victim"))
         late = env.timeout(5.0)
         late.callbacks.append(lambda event: order.append("late"))
         victim.cancel()
@@ -271,14 +265,13 @@ class TestCancellableSleep:
     def test_cancel_at_expiry_instant_is_honored(self, env):
         """Cancelling at the very instant the sleep expires (same time,
         earlier event) still suppresses the callback -- the preemption
-        boundary case where an interrupt lands at the completion
+        boundary case where a preemption lands at the completion
         instant."""
         fired = []
         # The trigger is created first, so at t=1.0 it is processed
-        # before the sleep (same time and priority, smaller sequence).
+        # before the sleep (same time, smaller sequence key).
         trigger = env.timeout(1.0)
-        sleep = env._sleep(1.0)
-        sleep.callbacks.append(lambda event: fired.append(event))
+        sleep = env._sleep(1.0, lambda event: fired.append(event))
         trigger.callbacks.append(lambda event: sleep.cancel())
         env.run(until=2.0)
         assert fired == []

@@ -13,6 +13,12 @@ changelog note), not a silent drift.
 
 from __future__ import annotations
 
+import importlib.util
+import json
+import os
+import subprocess
+import sys
+
 import pytest
 
 from repro.system.config import baseline_config, serial_parallel_config
@@ -265,6 +271,76 @@ class TestScenarioBaselineGolden:
         assert result.global_.missed == 69
         assert result.local.mean_response == 2.02008830512072
         assert result.global_.mean_response == 3.4160475119459655
+
+
+def _compiled_kernel_available() -> bool:
+    """True when the optional compiled engine extension is built."""
+    spec = importlib.util.find_spec("repro.sim._engine_c")
+    if spec is None or spec.origin is None:
+        return False
+    return not spec.origin.endswith((".py", ".pyc"))
+
+
+#: Driver executed in a subprocess with REPRO_KERNEL pinned: kernel
+#: selection happens at import time, so each leg needs its own
+#: interpreter.  Prints the serial-baseline golden observables as JSON
+#: (exact floats via repr round-trip).
+_KERNEL_GOLDEN_DRIVER = """
+import json, sys
+from repro.sim.core import KERNEL
+from repro.system.config import baseline_config
+from repro.system.simulation import simulate
+
+result = simulate(
+    baseline_config(sim_time=2_500.0, warmup_time=250.0, seed=42)
+)
+print(json.dumps({
+    "kernel": KERNEL,
+    "local_completed": result.local.completed,
+    "local_missed": result.local.missed,
+    "local_mean_response": result.local.mean_response,
+    "global_completed": result.global_.completed,
+    "global_mean_response": result.global_.mean_response,
+    "dispatched": [n.dispatched for n in result.per_node],
+    "node0_utilization": result.per_node[0].utilization,
+}))
+"""
+
+
+class TestGoldenAcrossKernels:
+    """The same pins must hold under every kernel implementation.
+
+    ``REPRO_KERNEL`` is an import-time switch, so each leg runs the
+    driver in a fresh subprocess.  The compiled leg skips cleanly when
+    the extension was never built (no toolchain at test time is the
+    supported default); forcing ``REPRO_KERNEL=python`` must always
+    work, per the fallback contract.
+    """
+
+    @pytest.mark.parametrize("kernel", ["python", "compiled"])
+    def test_serial_baseline_golden_under_kernel(self, kernel):
+        if kernel == "compiled" and not _compiled_kernel_available():
+            pytest.skip("compiled kernel extension not built")
+        env = dict(os.environ, REPRO_KERNEL=kernel)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (
+                os.path.join(os.path.dirname(__file__), "..", "..", "src"),
+                env.get("PYTHONPATH", ""),
+            ) if p
+        )
+        output = subprocess.run(
+            [sys.executable, "-c", _KERNEL_GOLDEN_DRIVER],
+            env=env, capture_output=True, text=True, check=True,
+        ).stdout
+        values = json.loads(output)
+        assert values["kernel"] == kernel
+        assert values["local_completed"] == 5136
+        assert values["local_missed"] == 1204
+        assert values["local_mean_response"] == 1.783879225470131
+        assert values["global_completed"] == 402
+        assert values["global_mean_response"] == 8.579486447843847
+        assert values["dispatched"] == [1155, 1142, 1112, 1144, 1127, 1065]
+        assert values["node0_utilization"] == 0.5153333521237488
 
 
 class TestTracingIsObservationOnly:

@@ -391,3 +391,48 @@ class TestIntegration:
         a, b = simulate(config), simulate(config)
         assert a.md_local == b.md_local
         assert a.md_global == b.md_global
+
+
+class TestPreemptionsInRunResult:
+    """The per-node preemption counter surfaced through RunResult
+    (ROADMAP open item: sweeps could not rank by preemption rate when
+    only the node object exposed it)."""
+
+    def test_preemptive_run_reports_per_node_preemptions(self):
+        result = simulate(
+            baseline_config(preemptive=True, sim_time=2_000.0,
+                            warmup_time=200.0, seed=5)
+        )
+        assert result.total_preemptions > 0
+        assert result.total_preemptions == sum(
+            n.preemptions for n in result.per_node
+        )
+        assert all(n.preemptions >= 0 for n in result.per_node)
+
+    def test_non_preemptive_run_reports_zero(self):
+        result = simulate(
+            baseline_config(preemptive=False, sim_time=1_000.0,
+                            warmup_time=100.0, seed=5)
+        )
+        assert result.total_preemptions == 0
+        assert all(n.preemptions == 0 for n in result.per_node)
+
+    def test_counter_resets_at_warmup(self):
+        """RunResult counts the measured window only; the node object's
+        lifetime diagnostic keeps counting from t=0."""
+        config = baseline_config(preemptive=True, sim_time=2_000.0,
+                                 warmup_time=500.0, seed=5)
+        from repro.system.simulation import Simulation
+
+        sim = Simulation(config)
+        result = sim.run()
+        lifetime = sum(node.preemptions for node in sim.nodes)
+        assert lifetime > result.total_preemptions > 0
+
+    def test_point_estimate_aggregates_preemptions(self):
+        from repro.experiments.runner import replicate
+
+        config = baseline_config(preemptive=True, sim_time=1_000.0,
+                                 warmup_time=100.0, seed=5)
+        estimate = replicate(config, replications=2)
+        assert estimate.preemptions > 0
