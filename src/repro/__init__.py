@@ -47,6 +47,7 @@ from .core.strategies import (
     parse_assigner,
 )
 from .system import (
+    FaultSpec,
     RunResult,
     Simulation,
     SystemConfig,
@@ -64,6 +65,7 @@ __all__ = [
     "EffectiveDeadline",
     "EqualFlexibility",
     "EqualSlack",
+    "FaultSpec",
     "GlobalsFirst",
     "LocalTask",
     "PAPER_COMBINATIONS",

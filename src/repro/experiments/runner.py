@@ -20,6 +20,8 @@ from __future__ import annotations
 
 import multiprocessing
 import warnings
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from functools import cached_property
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
@@ -127,6 +129,13 @@ class PointEstimate:
     #: Total preemption events across nodes and replications (0 for
     #: non-preemptive configurations; see ``NodeStats.preemptions``).
     preemptions: int = 0
+    #: Total node crashes across nodes and replications (0 fault-free).
+    crashes: int = 0
+    #: Total crash-discarded work units across nodes and replications.
+    lost: int = 0
+    #: Total retry resubmissions across replications (0 unless a
+    #: retry-enabled fault spec is configured).
+    retries: int = 0
 
     @property
     def gap(self) -> float:
@@ -157,6 +166,9 @@ def _aggregate(
     local_completed = 0
     global_completed = 0
     preemptions = 0
+    crashes = 0
+    lost = 0
+    retries = 0
     for result in results:
         md_locals.append(result.md_local)
         md_globals.append(result.md_global)
@@ -164,6 +176,9 @@ def _aggregate(
         local_completed += result.local.completed
         global_completed += result.global_.completed
         preemptions += result.total_preemptions
+        crashes += result.total_crashes
+        lost += result.total_lost
+        retries += result.retries
     return PointEstimate(
         config=config,
         md_local=interval_from_samples(md_locals, level),
@@ -172,7 +187,61 @@ def _aggregate(
         local_completed=local_completed,
         global_completed=global_completed,
         preemptions=preemptions,
+        crashes=crashes,
+        lost=lost,
+        retries=retries,
     )
+
+
+def _run_batches_resilient(
+    batches: List[List[SystemConfig]], processes: int
+) -> List[List[RunResult]]:
+    """Run config batches on a process pool, surviving worker death.
+
+    A worker that dies mid-batch (OOM kill, a segfaulting extension, a
+    stray ``os._exit``) raises :class:`BrokenProcessPool` for its future
+    and poisons the whole executor, which would lose the entire sweep.
+    Graceful degradation instead: collect every batch that did finish,
+    resubmit the unfinished ones once on a fresh executor, and if that
+    breaks too, run the remainder in-process.  Each path emits a
+    :class:`RuntimeWarning` naming what happened.  Results are
+    positionally identical on every path -- a batch is a pure function
+    of its configs (fixed seeds), so *where* it runs cannot change
+    *what* it returns.
+    """
+    results: List[Optional[List[RunResult]]] = [None] * len(batches)
+    pending = list(range(len(batches)))
+    for round_ in range(2):
+        broken = False
+        with ProcessPoolExecutor(max_workers=processes) as pool:
+            futures = [
+                (index, pool.submit(run_config_batch, batches[index]))
+                for index in pending
+            ]
+            for index, future in futures:
+                try:
+                    results[index] = future.result()
+                except BrokenProcessPool:
+                    broken = True
+        if not broken:
+            return results
+        pending = [index for index in pending if results[index] is None]
+        if round_ == 0:
+            warnings.warn(
+                f"a sweep worker died; resubmitting {len(pending)} "
+                f"unfinished batch(es) on a fresh pool",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+    warnings.warn(
+        f"the process pool broke twice; running the remaining "
+        f"{len(pending)} batch(es) in-process",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+    for index in pending:
+        results[index] = run_config_batch(batches[index])
+    return results
 
 
 def run_grid(
@@ -194,8 +263,11 @@ def run_grid(
     (:func:`run_config_batch`), so the pool pays one dispatch and one
     result vector per batch instead of one IPC round trip per run.
     Results are deterministic regardless of ``workers`` or ``batch_size``:
-    every run's seed is fixed up front, ``pool.map`` preserves batch
-    order, and batches are contiguous slices of the flattened grid.
+    every run's seed is fixed up front, results are collected in
+    submission order, and batches are contiguous slices of the flattened
+    grid.  A worker dying mid-sweep does not lose the grid: the failed
+    batches are resubmitted once, then fall back to in-process execution
+    (see :func:`_run_batches_resilient`).
 
     An injected ``runner`` cannot cross process boundaries (closures
     generally do not pickle), so ``workers > 1`` with a runner emits a
@@ -220,12 +292,11 @@ def run_grid(
     if processes > 1 and runner is None:
         size = resolve_batch_size(batch_size, len(flat), processes)
         batches = [flat[i:i + size] for i in range(0, len(flat), size)]
-        with multiprocessing.Pool(processes) as pool:
-            flat_results = [
-                result
-                for batch in pool.map(run_config_batch, batches)
-                for result in batch
-            ]
+        flat_results = [
+            result
+            for batch in _run_batches_resilient(batches, processes)
+            for result in batch
+        ]
     else:
         run = runner or run_config
         flat_results = [run(config) for config in flat]

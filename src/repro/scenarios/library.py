@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Tuple
 
+from ..system.faults import FaultSpec
 from .spec import ArrivalSpec, PlacementSpec, ScenarioSpec, ServiceSpec
 
 #: The Table 1 model, untouched (the control every comparison needs).
@@ -140,6 +141,102 @@ PREEMPTIVE_HEAVY_TAIL = ScenarioSpec(
     base={"preemptive": True},
 )
 
+#: Steady node churn: frequent independent crashes with quick repairs
+#: (availability ~95%).  Gentle semantics (frozen in-flight work resumes,
+#: queues survive) isolate the *latency* cost of downtime; the retry
+#: layer re-routes subtasks that time out on a dead node.
+STEADY_CHURN = ScenarioSpec(
+    name="steady-churn",
+    description=(
+        "Steady node churn: MTTF 400, MTTR 20 per node; frozen work "
+        "resumes; timed-out subtasks retried on live nodes."
+    ),
+    faults=FaultSpec(
+        mttf=400.0,
+        mttr=20.0,
+        in_flight="resume",
+        queued="preserved",
+        retry_limit=2,
+        retry_timeout=30.0,
+        retry_backoff=1.0,
+    ),
+)
+
+#: Correlated outage bursts: rarer failures, but each takes half the
+#: cluster down at once (rack/switch-style shared fate) for a long
+#: repair.  Stresses failure-aware placement hardest -- the survivors
+#: absorb the full load.
+OUTAGE_BURST = ScenarioSpec(
+    name="outage-burst",
+    description=(
+        "Correlated outages: each failure downs 3 of 6 nodes for MTTR 60 "
+        "(MTTF 1500); frozen work resumes; retries re-route."
+    ),
+    faults=FaultSpec(
+        mttf=1500.0,
+        mttr=60.0,
+        blast_radius=3,
+        in_flight="resume",
+        queued="preserved",
+        retry_limit=3,
+        retry_timeout=45.0,
+        retry_backoff=2.0,
+    ),
+)
+
+#: Lossy recovery: crashes destroy the in-flight unit AND the ready
+#: queue (no stable storage).  Without retries every lost subtask kills
+#: its global task; the retry budget is what keeps MD_global bounded.
+LOSSY_RECOVERY = ScenarioSpec(
+    name="lossy-recovery",
+    description=(
+        "Lossy crashes: in-flight and queued work destroyed (MTTF 600, "
+        "MTTR 25); lost subtasks retried up to 3 times with backoff."
+    ),
+    faults=FaultSpec(
+        mttf=600.0,
+        mttr=25.0,
+        in_flight="lost",
+        queued="dropped",
+        retry_limit=3,
+        retry_backoff=0.5,
+        retry_backoff_factor=2.0,
+    ),
+)
+
+#: Churn x preemption: the steady-churn fault process on
+#: preemptive-resume servers -- crash/recover interacts with
+#: remaining-demand bookkeeping and mid-service revocation.
+CHURN_PREEMPTIVE = ScenarioSpec(
+    name="churn-preemptive",
+    description=(
+        "Steady node churn (MTTF 400, MTTR 20) on preemptive-resume "
+        "servers."
+    ),
+    faults=FaultSpec(
+        mttf=400.0,
+        mttr=20.0,
+        in_flight="resume",
+        queued="preserved",
+        retry_limit=2,
+        retry_timeout=30.0,
+        retry_backoff=1.0,
+    ),
+    base={"preemptive": True},
+)
+
+#: The firm-deadline overload policy as a scenario dimension: tardy work
+#: is discarded at dispatch instead of completing late.
+FIRM_OVERLOAD = ScenarioSpec(
+    name="firm-overload",
+    description=(
+        "Firm deadlines: abort-tardy overload policy at elevated load "
+        "0.55."
+    ),
+    overload="abort-tardy",
+    base={"load": 0.55},
+)
+
 #: Library order is presentation order (baseline first).
 LIBRARY: Tuple[ScenarioSpec, ...] = (
     BASELINE,
@@ -156,4 +253,9 @@ LIBRARY: Tuple[ScenarioSpec, ...] = (
     PREEMPTIVE_BASELINE,
     PREEMPTIVE_HETERO_SPEEDS,
     PREEMPTIVE_HEAVY_TAIL,
+    STEADY_CHURN,
+    OUTAGE_BURST,
+    LOSSY_RECOVERY,
+    CHURN_PREEMPTIVE,
+    FIRM_OVERLOAD,
 )

@@ -87,11 +87,14 @@ class ScenarioSweepResult:
         The ``preempt`` column is the total preemption count across
         nodes and replications (``PointEstimate.preemptions``): 0 for
         non-preemptive scenarios, and a direct preemption-pressure
-        ranking signal for the ``preemptive-*`` family.
+        ranking signal for the ``preemptive-*`` family.  ``crash`` /
+        ``lost`` / ``retry`` are the fault-model counters (all 0 for
+        fault-free scenarios): crash events, crash-discarded work units,
+        and retry resubmissions across nodes and replications.
         """
         headers = [
             "scenario", "rank", "strategy", "MD_global", "MD_local", "gap",
-            "preempt",
+            "preempt", "crash", "lost", "retry",
         ]
         rows: List[List[object]] = []
         for scenario in self.scenarios:
@@ -105,6 +108,9 @@ class ScenarioSweepResult:
                     format_percent(estimate.md_local.mean),
                     format_percent(estimate.gap),
                     estimate.preemptions,
+                    estimate.crashes,
+                    estimate.lost,
+                    estimate.retries,
                 ])
         return render_table(
             headers,

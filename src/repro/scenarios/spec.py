@@ -34,6 +34,7 @@ from dataclasses import dataclass, field, fields
 from typing import Dict, Mapping, Optional, Tuple
 
 from ..system.config import SystemConfig
+from ..system.faults import FaultSpec
 
 #: SystemConfig field names, for validating base overrides.
 _CONFIG_FIELDS = {f.name for f in fields(SystemConfig)}
@@ -45,6 +46,7 @@ _DIMENSION_FIELDS = {
     "service_model", "service_shape", "service_sigma",
     "placement", "placement_zipf_s",
     "node_speed_factors", "load_profile",
+    "faults", "overload_policy",
 }
 
 
@@ -134,6 +136,13 @@ class ScenarioSpec:
     arrival: ArrivalSpec = field(default_factory=ArrivalSpec)
     service: ServiceSpec = field(default_factory=ServiceSpec)
     placement: PlacementSpec = field(default_factory=PlacementSpec)
+    #: Node-failure dimension (crash/recovery processes, retry knobs;
+    #: see :mod:`repro.system.faults`).  ``None`` = perfectly reliable
+    #: nodes (the paper's model).
+    faults: Optional[FaultSpec] = None
+    #: Overload-policy dimension: "no-abort" (the paper), "abort-tardy",
+    #: or "abort-virtual" (see :mod:`repro.system.overload`).
+    overload: str = "no-abort"
     node_speed_factors: Optional[Tuple[float, ...]] = None
     load_profile: Optional[Tuple[Tuple[float, float], ...]] = None
     base: Tuple[Tuple[str, object], ...] = ()
@@ -150,6 +159,8 @@ class ScenarioSpec:
             )
         )
         object.__setattr__(self, "base", base)
+        if isinstance(self.faults, Mapping):
+            object.__setattr__(self, "faults", FaultSpec.from_dict(self.faults))
         object.__setattr__(
             self, "node_speed_factors", _tuplize(self.node_speed_factors)
         )
@@ -186,6 +197,8 @@ class ScenarioSpec:
         settings.update(self.arrival.config_fields())
         settings.update(self.service.config_fields())
         settings.update(self.placement.config_fields())
+        settings["faults"] = self.faults
+        settings["overload_policy"] = self.overload
         settings["node_speed_factors"] = self.node_speed_factors
         settings["load_profile"] = self.load_profile
         settings.update(run_overrides)
@@ -212,6 +225,8 @@ class ScenarioSpec:
             "arrival": dataclasses.asdict(self.arrival),
             "service": dataclasses.asdict(self.service),
             "placement": dataclasses.asdict(self.placement),
+            "faults": None if self.faults is None else self.faults.to_dict(),
+            "overload": self.overload,
             "node_speed_factors": listify(self.node_speed_factors),
             "load_profile": listify(self.load_profile),
             "base": {key: listify(value) for key, value in self.base},
@@ -222,12 +237,15 @@ class ScenarioSpec:
         """Inverse of :meth:`to_dict` (tolerates JSON's lists-for-tuples)."""
         speeds = data.get("node_speed_factors")
         profile = data.get("load_profile")
+        faults = data.get("faults")
         return cls(
             name=data["name"],
             description=data.get("description", ""),
             arrival=ArrivalSpec(**data.get("arrival", {})),
             service=ServiceSpec(**data.get("service", {})),
             placement=PlacementSpec(**data.get("placement", {})),
+            faults=None if faults is None else FaultSpec.from_dict(faults),
+            overload=data.get("overload", "no-abort"),
             node_speed_factors=(
                 None if speeds is None else _tuplize(speeds)
             ),
@@ -246,6 +264,10 @@ class ScenarioSpec:
             parts.append(f"service={self.service.model}")
         if self.placement.model != "uniform":
             parts.append(f"placement={self.placement.model}")
+        if self.faults is not None and self.faults.enabled:
+            parts.append(self.faults.describe())
+        if self.overload != "no-abort":
+            parts.append(f"overload={self.overload}")
         if self.node_speed_factors is not None:
             parts.append("heterogeneous-speeds")
         if self.load_profile is not None:

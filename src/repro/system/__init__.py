@@ -12,6 +12,7 @@ from .config import (
     serial_parallel_config,
     verify_load_arithmetic,
 )
+from .faults import FaultInjector, FaultSpec, LiveSet
 from .metrics import ClassStats, MetricsCollector, NodeStats, RunResult
 from .node import Node
 from .preemptive import PreemptiveNode
@@ -48,10 +49,13 @@ __all__ = [
     "AbortTardyAtDispatch",
     "ClassStats",
     "EarliestDeadlineFirst",
+    "FaultInjector",
+    "FaultSpec",
     "FirstComeFirstServed",
     "GlobalTaskFactory",
     "GlobalTaskOutcome",
     "GlobalTaskSource",
+    "LiveSet",
     "LocalTaskSource",
     "MetricsCollector",
     "MinimumLaxityFirst",

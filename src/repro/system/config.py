@@ -47,6 +47,8 @@ from ..sim.distributions import (
     Uniform,
     exponential_interarrival,
 )
+from .faults import FaultSpec
+from .overload import OVERLOAD_POLICIES
 from .placement import PLACEMENT_POLICIES
 
 #: Task-structure selectors (which experiment family a config runs).
@@ -172,6 +174,11 @@ class SystemConfig:
     #: arrival rates are scaled by the active segment's multiplier (the
     #: last segment persists past the end).  ``None`` = stationary.
     load_profile: Optional[Tuple[Tuple[float, float], ...]] = None
+    #: Optional node-failure model (crash/recovery processes, crash
+    #: semantics, retry/backoff knobs; see :mod:`repro.system.faults`).
+    #: ``None`` -- and any spec with ``mttf == 0`` -- wires nothing, so
+    #: fault-free runs stay bit-identical to the pre-fault engine.
+    faults: Optional[FaultSpec] = None
 
     # -- run control ----------------------------------------------------------
     #: Length of one run in simulated time units (the paper used 1e6).
@@ -204,6 +211,11 @@ class SystemConfig:
             raise ValueError(f"rel_flex must be non-negative: {self.rel_flex}")
         if not 0.0 <= self.pex_error < 1.0:
             raise ValueError(f"pex_error must lie in [0, 1): {self.pex_error}")
+        if self.overload_policy not in OVERLOAD_POLICIES:
+            raise ValueError(
+                f"unknown overload_policy {self.overload_policy!r}; "
+                f"expected one of {tuple(OVERLOAD_POLICIES)}"
+            )
         if self.task_structure not in _STRUCTURES:
             raise ValueError(
                 f"unknown task_structure {self.task_structure!r}; "
@@ -296,6 +308,11 @@ class SystemConfig:
                     f"node speed factors must be finite and positive, got "
                     f"{self.node_speed_factors}"
                 )
+        if self.faults is not None and not isinstance(self.faults, FaultSpec):
+            raise ValueError(
+                f"faults must be a FaultSpec or None, got "
+                f"{type(self.faults).__name__}"
+            )
         if self.load_profile is not None:
             if not self.load_profile:
                 raise ValueError("load_profile must have at least one segment")

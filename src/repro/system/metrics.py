@@ -33,6 +33,10 @@ class ClassStats:
     mean_response: float
     mean_lateness: float
     mean_waiting: float
+    #: Tasks whose retry budget was exhausted after crash losses (the
+    #: ``"failed"`` :class:`GlobalTaskOutcome` disposition).  A subset of
+    #: ``aborted`` -- failed tasks are counted in both.
+    failed: int = 0
 
     @property
     def miss_ratio(self) -> float:
@@ -60,6 +64,14 @@ class NodeStats:
     #: ``preemptions`` diagnostic, this counter restarts at the warm-up
     #: reset, so sweeps can rank scenarios/strategies by preemption rate.
     preemptions: int = 0
+    #: Crash events at this node within the measured window.
+    crashes: int = 0
+    #: Work units discarded by crashes at this node (in-flight units under
+    #: ``in_flight="lost"`` plus queued units under ``queued="dropped"``).
+    lost: int = 0
+    #: Fraction of the measured window this node spent down (time-weighted
+    #: mean of the 0/1 down signal; 0.0 in fault-free runs).
+    downtime: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -70,6 +82,9 @@ class RunResult:
     warmup: float
     per_class: Dict[str, ClassStats]
     per_node: List[NodeStats]
+    #: Leaf resubmissions by the process manager's retry layer within the
+    #: measured window (0 unless a retry-enabled :class:`FaultSpec` is set).
+    retries: int = 0
 
     @property
     def local(self) -> ClassStats:
@@ -91,26 +106,77 @@ class RunResult:
 
     @property
     def mean_utilization(self) -> float:
-        """Average utilization across nodes (sanity check against ``load``)."""
+        """Average *wall-clock* utilization across nodes.
+
+        The denominator is the full measured window, downtime included:
+        a node that is down delivers no service, so its lost capacity
+        *should* depress this number -- that keeps the classic sanity
+        check against the offered ``load`` meaningful (a fault-free run
+        at load 0.8 and a faulty run at load 0.8 with 10% downtime
+        genuinely differ in delivered work).  For the complementary
+        availability-adjusted view (busy time over *uptime*), see
+        :attr:`mean_active_utilization`.
+        """
         if not self.per_node:
             return float("nan")
         return sum(n.utilization for n in self.per_node) / len(self.per_node)
+
+    @property
+    def mean_active_utilization(self) -> float:
+        """Average utilization over each node's *uptime* (availability-
+        adjusted): how hard the node worked while it was alive.  A node
+        down for the whole window contributes 0.0.  Equals
+        :attr:`mean_utilization` in fault-free runs.
+        """
+        if not self.per_node:
+            return float("nan")
+        total = 0.0
+        for n in self.per_node:
+            uptime = 1.0 - n.downtime
+            total += n.utilization / uptime if uptime > 0.0 else 0.0
+        return total / len(self.per_node)
+
+    @property
+    def mean_availability(self) -> float:
+        """Average fraction of the window nodes were up (1.0 fault-free)."""
+        if not self.per_node:
+            return float("nan")
+        return 1.0 - sum(n.downtime for n in self.per_node) / len(self.per_node)
 
     @property
     def total_preemptions(self) -> int:
         """Preemption events across all nodes in the measured window."""
         return sum(n.preemptions for n in self.per_node)
 
+    @property
+    def total_crashes(self) -> int:
+        """Crash events across all nodes in the measured window."""
+        return sum(n.crashes for n in self.per_node)
+
+    @property
+    def total_lost(self) -> int:
+        """Crash-discarded work units across all nodes in the window."""
+        return sum(n.lost for n in self.per_node)
+
 
 class _ClassAccumulator:
     """Mutable per-class counters behind :class:`ClassStats`."""
 
-    __slots__ = ("completed", "missed", "aborted", "response", "lateness", "waiting")
+    __slots__ = (
+        "completed",
+        "missed",
+        "aborted",
+        "failed",
+        "response",
+        "lateness",
+        "waiting",
+    )
 
     def __init__(self, label: str) -> None:
         self.completed = 0
         self.missed = 0
         self.aborted = 0
+        self.failed = 0
         self.response = MeanTally(f"{label}/response")
         self.lateness = MeanTally(f"{label}/lateness")
         self.waiting = MeanTally(f"{label}/waiting")
@@ -119,6 +185,7 @@ class _ClassAccumulator:
         self.completed = 0
         self.missed = 0
         self.aborted = 0
+        self.failed = 0
         self.response.reset()
         self.lateness.reset()
         self.waiting.reset()
@@ -131,6 +198,7 @@ class _ClassAccumulator:
             mean_response=self.response.mean,
             mean_lateness=self.lateness.mean,
             mean_waiting=self.waiting.mean,
+            failed=self.failed,
         )
 
 
@@ -157,6 +225,19 @@ class MetricsCollector:
         #: Per-node preemption counts (preemptive nodes increment their
         #: slot inline; reset at warm-up like ``node_dispatched``).
         self.node_preemptions: List[int] = [0] * node_count
+        #: Per-node crash counts (incremented by the fault injector).
+        self.node_crashes: List[int] = [0] * node_count
+        #: Per-node crash-discarded unit counts (incremented by the nodes'
+        #: ``_discard_lost``).
+        self.node_lost: List[int] = [0] * node_count
+        #: Per-node 0/1 down signal (1.0 while crashed); ``reset`` keeps
+        #: the current value, so a node down across the warm-up boundary
+        #: keeps accruing downtime in the measured window.
+        self.node_down: List[TimeWeighted] = [
+            TimeWeighted(f"node-{i}/down") for i in range(node_count)
+        ]
+        #: Leaf resubmissions by the process manager's retry layer.
+        self.retries = 0
         self._warmup_end = 0.0
         self._tracer = None
 
@@ -235,17 +316,21 @@ class MetricsCollector:
         aborted: bool,
         response_time: Optional[float] = None,
         lateness: Optional[float] = None,
+        failed: bool = False,
     ) -> None:
         """Record the end-to-end outcome of one global task.
 
         An aborted task never completed, so it has no response time or
         lateness; callers pass ``None`` (the default) and only the
-        aborted/missed counters move.
+        aborted/missed counters move.  ``failed`` marks the retry-budget-
+        exhausted disposition (a subset of aborted).
         """
         acc = self._global_acc
         if aborted:
             acc.aborted += 1
             acc.missed += 1
+            if failed:
+                acc.failed += 1
             return
         acc.completed += 1
         if timing_missed:
@@ -270,6 +355,13 @@ class MetricsCollector:
         # In place: node server loops hold references to these lists.
         self.node_dispatched[:] = [0] * len(self.node_dispatched)
         self.node_preemptions[:] = [0] * len(self.node_preemptions)
+        self.node_crashes[:] = [0] * len(self.node_crashes)
+        self.node_lost[:] = [0] * len(self.node_lost)
+        # TimeWeighted.reset keeps the current value: a node down across
+        # the warm-up boundary stays down in the measured window.
+        for signal in self.node_down:
+            signal.reset(now)
+        self.retries = 0
         self._warmup_end = now
 
     def snapshot(self, now: float) -> RunResult:
@@ -281,6 +373,9 @@ class MetricsCollector:
                 mean_queue_length=self.node_queue[i].mean_at(now),
                 dispatched=self.node_dispatched[i],
                 preemptions=self.node_preemptions[i],
+                crashes=self.node_crashes[i],
+                lost=self.node_lost[i],
+                downtime=self.node_down[i].mean_at(now),
             )
             for i in range(len(self.node_busy))
         ]
@@ -292,4 +387,5 @@ class MetricsCollector:
             warmup=self._warmup_end,
             per_class=per_class,
             per_node=per_node,
+            retries=self.retries,
         )

@@ -66,6 +66,16 @@ class Node:
         self._busy = False
         self._serving: Optional[WorkUnit] = None
         self._wake_pending = False
+        # Fault machinery (inert unless a FaultInjector attaches): the
+        # up/down flag, the retained in-service timer (so a crash can
+        # revoke it), its absolute expiry (so "resume" semantics know the
+        # remaining service), and the crash-semantics flags.
+        self._up = True
+        self._sleep = None
+        self._service_end = 0.0
+        self._frozen_left = -1.0  # >= 0 while a frozen unit awaits recovery
+        self._lose_in_flight = True
+        self._drop_queued = False
         self._queue_signal = metrics.node_queue[index]
         self._busy_signal = metrics.node_busy[index]
         # Ready-queue internals and callback methods, bound once: pushes,
@@ -149,7 +159,7 @@ class Node:
         # bookkeeping scheduled afterwards (e.g. a pre-run blocker must
         # enter service before a process manager launched after it can
         # slip a later unit in front).
-        if not self._busy and not self._wake_pending:
+        if not self._busy and not self._wake_pending and self._up:
             self._wake_pending = True
             # Inlined urgent _schedule_call with the pooled wake event:
             # no allocation, no heap entry.
@@ -178,6 +188,8 @@ class Node:
         list.
         """
         self._wake_pending = False
+        if not self._up:
+            return
         heap = self._heap
         if not heap:
             return
@@ -244,13 +256,18 @@ class Node:
                     (env._now + service, env._next_seq(), sleep),
                 )
             else:
-                env._sleep(service, self._on_complete)
+                sleep = env._sleep(service, self._on_complete)
+            # Retained so a crash can revoke the completion; the expiry
+            # stamp is what "frozen-and-resumed" semantics restart from.
+            self._sleep = sleep
+            self._service_end = now + service
             return
 
     def _complete(self, _event) -> None:
         """Service interval elapsed: record the outcome, serve the next."""
         unit = self._serving
         self._serving = None
+        self._sleep = None
         metrics = self.metrics
         index = self.index
         env = self.env
@@ -279,6 +296,106 @@ class Node:
             # next dispatch or any other same-instant event.
             env._schedule_call(on_done, value=unit, priority=NORMAL)
         self._dispatch_next()
+
+    # -- fault machinery ------------------------------------------------------
+
+    @property
+    def up(self) -> bool:
+        """True while the node is operational (always, without faults)."""
+        return self._up
+
+    def configure_fault_semantics(
+        self, lose_in_flight: bool, drop_queued: bool
+    ) -> None:
+        """Set what a crash does to in-flight and queued work."""
+        self._lose_in_flight = lose_in_flight
+        self._drop_queued = drop_queued
+
+    def crash(self) -> None:
+        """Take the node down, revoking the in-service timer.
+
+        The in-flight unit is either discarded (``in_flight="lost"``) or
+        frozen with its remaining demand (``"resume"``); queued units are
+        discarded when ``queued="dropped"``.  Crash timers are plain heap
+        events, so the kernel's urgent deque is empty here and no wake can
+        be pending for the base node.
+        """
+        self._up = False
+        env = self.env
+        now = env._now
+        if self._busy:
+            self._sleep.cancel()
+            self._sleep = None
+            self._busy = False
+            busy = self._busy_signal
+            # Inlined busy.update(0, now): the 1 -> 0 edge accumulates the
+            # partial service interval of area.
+            busy._area += now - busy._last_time
+            busy._last_time = now
+            busy._value = 0.0
+            if busy.min > 0.0:
+                busy.min = 0.0
+            unit = self._serving
+            if self._lose_in_flight:
+                self._serving = None
+                self._discard_lost(unit, now)
+            else:
+                # Freeze: keep ``_serving`` and remember the remaining
+                # service so recovery can restart the timer.
+                left = self._service_end - now
+                self._frozen_left = left if left > 0.0 else 0.0
+        if self._drop_queued:
+            heap = self._heap
+            if heap:
+                count = len(heap)
+                for entry in heap:
+                    self._discard_lost(entry[3], now)
+                heap.clear()
+                self._queue_signal.increment(-count, now)
+
+    def recover(self) -> None:
+        """Bring the node back up and resume or re-dispatch work."""
+        self._up = True
+        env = self.env
+        now = env._now
+        if self._frozen_left >= 0.0:
+            left = self._frozen_left
+            self._frozen_left = -1.0
+            self._busy = True
+            busy = self._busy_signal
+            # Inlined busy.update(1, now): 0 -> 1 edge adds no area.
+            busy._last_time = now
+            busy._value = 1.0
+            if busy.max < 1.0:
+                busy.max = 1.0
+            self._service_end = now + left
+            self._sleep = env._sleep(left, self._on_complete)
+        elif self._heap and not self._wake_pending:
+            self._wake_pending = True
+            env._urgent.append(self._wake_event)
+
+    def _discard_lost(self, unit: WorkUnit, now: float) -> None:
+        """Account a crash-discarded unit and release its waiters.
+
+        The unit completes as aborted *and* marked ``lost`` so the retry
+        layer in the process manager can tell crash losses apart from
+        overload aborts (only the former are retried).
+        """
+        timing = unit.timing
+        timing.aborted = True
+        unit.lost = True
+        metrics = self.metrics
+        index = self.index
+        metrics.node_lost[index] += 1
+        if metrics._tracer is not None:
+            metrics._tracer.record(now, "lost", unit, index)
+        metrics.record_unit_completion(unit)
+        done = unit._done
+        if done is not None:
+            done.succeed(unit)
+        on_done = unit.on_done
+        if on_done is not None:
+            self.env._schedule_call(on_done, value=unit, priority=NORMAL)
 
     def __repr__(self) -> str:
         return (

@@ -44,6 +44,18 @@ class PlacementPolicy:
     #: Human-readable policy name.
     name: str = "abstract"
 
+    #: Optional :class:`~repro.system.faults.LiveSet` (attached by the
+    #: simulation when a fault spec is active).  When set, policies avoid
+    #: down nodes -- O(1) membership tests -- and degrade gracefully to
+    #: their fault-oblivious behavior when too few nodes are up.  ``None``
+    #: (every fault-free run) leaves each policy's draw sequence exactly
+    #: as before.
+    live = None
+
+    def attach_live_set(self, live) -> None:
+        """Make this policy failure-aware (skip crashed nodes)."""
+        self.live = live
+
     def pick_one(self) -> int:
         """Node index for one serial-stage subtask."""
         raise NotImplementedError
@@ -68,9 +80,23 @@ class UniformPlacement(PlacementPolicy):
         self._stream = streams.get("global-route")
 
     def pick_one(self) -> int:
-        return self._stream.randrange(self.node_count)
+        index = self._stream.randrange(self.node_count)
+        live = self.live
+        if live is None or index in live or live.live_count == 0:
+            # Fault-free configs (live is None) take exactly the historical
+            # single draw; a whole-cluster outage keeps the draw too (the
+            # unit queues at a down node until recovery).
+            return index
+        # Redraw restricted to the live set: uniform over up nodes.
+        indices = live.live_indices()
+        return indices[self._stream.randrange(len(indices))]
 
     def pick_distinct(self, count: int) -> List[int]:
+        live = self.live
+        if live is not None and count <= live.live_count < live.node_count:
+            return self._stream.sample(live.live_indices(), count)
+        # Fault-free, everyone-up, or too few live nodes for a distinct
+        # fan: the historical full-range sample (graceful degradation).
         return self._stream.sample(range(self.node_count), count)
 
 
@@ -85,7 +111,15 @@ class RoundRobinPlacement(PlacementPolicy):
 
     def pick_one(self) -> int:
         index = self._cursor
-        self._cursor = (index + 1) % self.node_count
+        node_count = self.node_count
+        live = self.live
+        if live is not None and live.live_count > 0:
+            # Skip-scan: rotate past down nodes (at most one full lap).
+            for _ in range(node_count):
+                if index in live:
+                    break
+                index = (index + 1) % node_count
+        self._cursor = (index + 1) % node_count
         return index
 
     def pick_distinct(self, count: int) -> List[int]:
@@ -93,7 +127,18 @@ class RoundRobinPlacement(PlacementPolicy):
             raise ValueError(
                 f"cannot pick {count} distinct nodes from {self.node_count}"
             )
-        # Consecutive indices mod node_count are distinct for count <= k.
+        live = self.live
+        if live is not None and 0 < live.live_count < count:
+            # Not enough live nodes for a distinct fan: fall back to the
+            # oblivious rotation (down members queue until recovery).
+            chosen = []
+            index = self._cursor
+            for _ in range(count):
+                chosen.append(index)
+                index = (index + 1) % self.node_count
+            self._cursor = index
+            return chosen
+        # Consecutive (live) picks are distinct for count <= live count.
         return [self.pick_one() for _ in range(count)]
 
 
@@ -131,7 +176,27 @@ class ZipfPlacement(PlacementPolicy):
         self._cdf = cumulative
 
     def pick_one(self) -> int:
-        return bisect_right(self._cdf, self._stream.random())
+        index = bisect_right(self._cdf, self._stream.random())
+        live = self.live
+        if live is None or index in live or live.live_count == 0:
+            return index
+        # One renormalized draw over the live nodes (rejection against the
+        # full CDF could stall for a very long time when a down node holds
+        # nearly all the mass at extreme skew).
+        weights = self._weights
+        indices = live.live_indices()
+        total = 0.0
+        for i in indices:
+            total += weights[i]
+        if total <= 0.0:
+            return indices[0]
+        threshold = self._stream.random() * total
+        acc = 0.0
+        for i in indices:
+            acc += weights[i]
+            if threshold < acc:
+                return i
+        return indices[-1]
 
     def pick_distinct(self, count: int) -> List[int]:
         if count > self.node_count:
@@ -143,7 +208,11 @@ class ZipfPlacement(PlacementPolicy):
         # tail (tiny or even underflowed-to-zero weights at extreme ``s``)
         # cannot stall the sampler the way rejection sampling would.
         weights = self._weights
-        remaining = list(range(self.node_count))
+        live = self.live
+        if live is not None and count <= live.live_count < live.node_count:
+            remaining = live.live_indices()
+        else:
+            remaining = list(range(self.node_count))
         chosen: List[int] = []
         for _ in range(count):
             total = 0.0
@@ -203,7 +272,19 @@ class LeastOutstandingPlacement(PlacementPolicy):
         return ties
 
     def _pick(self, excluded: set) -> int:
-        ties = self._argmins(self._outstanding(), excluded)
+        outstanding = self._outstanding()
+        live = self.live
+        if live is not None and live.live_count > 0:
+            down_excluded = excluded | {
+                i for i in range(len(self.nodes)) if i not in live
+            }
+            ties = self._argmins(outstanding, down_excluded)
+            if not ties:
+                # Every live node already picked for this fan: degrade to
+                # the fault-oblivious choice among the rest.
+                ties = self._argmins(outstanding, excluded)
+        else:
+            ties = self._argmins(outstanding, excluded)
         if len(ties) == 1:
             return ties[0]
         return ties[self._stream.randrange(len(ties))]

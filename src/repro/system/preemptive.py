@@ -148,7 +148,7 @@ class PreemptiveNode(Node):
             # event (the generator server's wakeup fired at NORMAL, and
             # the golden gate pins that ordering): same time and sequence
             # consumption, no allocation.
-            if not self._wake_pending:
+            if not self._wake_pending and self._up:
                 self._wake_pending = True
                 heappush(env._queue, (now, env._next_seq(), self._wake_event))
             return
@@ -191,6 +191,8 @@ class PreemptiveNode(Node):
         the loop without touching the event list.
         """
         self._wake_pending = False
+        if not self._up:
+            return
         heap = self._heap
         if not heap:
             return
@@ -319,6 +321,62 @@ class PreemptiveNode(Node):
         self._sleep = None
         self._remaining.pop(self._serving.id, None)
         Node._complete(self, _event)
+
+    # -- fault machinery ------------------------------------------------------
+
+    def crash(self) -> None:
+        """Take the node down; the preemptive freeze converts the in-flight
+        unit to remaining-demand bookkeeping.
+
+        ``in_flight="resume"`` here re-queues the frozen unit with its
+        remaining demand (the node already knows how to resume partial
+        work) *after* the base class applies the queue-drop policy, so
+        resume semantics protect the in-flight unit even when the queue is
+        dropped.  ``_preempt_pending`` is always False here: crash timers
+        are heap events and the urgent deque drains first.
+        """
+        env = self.env
+        now = env._now
+        held = None
+        if self._busy:
+            self._sleep.cancel()
+            self._sleep = None
+            unit = self._serving
+            self._serving = None
+            self._busy = False
+            busy = self._busy_signal
+            # Inlined busy.update(0, now): 1 -> 0 edge accumulates the
+            # partial service interval of area.
+            busy._area += now - busy._last_time
+            busy._last_time = now
+            busy._value = 0.0
+            if busy.min > 0.0:
+                busy.min = 0.0
+            if self._lose_in_flight:
+                self._remaining.pop(unit.id, None)
+                self._discard_lost(unit, now)
+            else:
+                speed = self.speed
+                elapsed = now - self._service_began
+                consumed = elapsed if speed == 1.0 else elapsed * speed
+                left = self._service_demand - consumed
+                self._remaining[unit.id] = left if left > 0.0 else 0.0
+                held = unit
+        Node.crash(self)  # _busy is False now: handles the queue drop only
+        if held is not None:
+            self.queue.push(held)
+            self._queue_signal.increment(1, now)
+
+    def recover(self) -> None:
+        """Bring the node back up; queued work (including any frozen unit,
+        now carrying remaining demand) re-dispatches via the NORMAL wake."""
+        self._up = True
+        env = self.env
+        if self._heap and not self._wake_pending:
+            self._wake_pending = True
+            heappush(
+                env._queue, (env._now, env._next_seq(), self._wake_event)
+            )
 
     def __repr__(self) -> str:
         return (

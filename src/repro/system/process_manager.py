@@ -57,7 +57,7 @@ from typing import Optional, Sequence
 from ..core.strategies import DeadlineAssigner
 from ..core.task import ParallelTask, SerialTask, SimpleTask, TaskClass, TaskNode
 from ..core.timing import fast_timing
-from ..sim.core import Environment, Event
+from ..sim.core import NORMAL, Environment, Event
 from .metrics import MetricsCollector
 from .node import Node
 from .work import WorkUnit
@@ -74,6 +74,20 @@ class GlobalTaskOutcome:
     deadline: float
     completed_at: Optional[float]
     aborted: bool
+    #: True when the task died because a subtask exhausted its crash-retry
+    #: budget (a subset of ``aborted``; see :attr:`disposition`).
+    failed: bool = False
+
+    @property
+    def disposition(self) -> str:
+        """How the task ended: ``"completed"``, ``"aborted"`` (overload
+        policy discarded a subtask), or ``"failed"`` (a subtask's
+        crash-retry budget was exhausted)."""
+        if self.failed:
+            return "failed"
+        if self.aborted:
+            return "aborted"
+        return "completed"
 
     @property
     def missed(self) -> bool:
@@ -126,6 +140,7 @@ class _TaskRun(_Continuation):
         "global_id",
         "arrival",
         "outcome_event",
+        "failed",
         "on_unit",
     )
 
@@ -142,6 +157,9 @@ class _TaskRun(_Continuation):
         self.global_id = next(_global_counter)
         self.arrival = 0.0  # stamped when the start kick fires
         self.outcome_event = outcome_event
+        #: Latched by a leaf's retry shim when its budget is exhausted,
+        #: turning the recorded outcome into the "failed" disposition.
+        self.failed = False
         self.on_unit = self._on_unit  # bound once; reused per leaf
 
     def _start(self, _event: Event) -> None:
@@ -164,7 +182,7 @@ class _TaskRun(_Continuation):
         deadline = self.deadline
         if aborted:
             manager.metrics.record_global_completion(
-                timing_missed=True, aborted=True
+                timing_missed=True, aborted=True, failed=self.failed
             )
         else:
             manager.metrics.record_global_completion(
@@ -182,6 +200,7 @@ class _TaskRun(_Continuation):
                     deadline=deadline,
                     completed_at=None if aborted else now,
                     aborted=aborted,
+                    failed=self.failed,
                 )
             )
 
@@ -301,6 +320,174 @@ class _ParallelFrame(_Continuation):
             self.parent.child_done(self.aborted)
 
 
+class _FailedResult:
+    """Sentinel delivered to a continuation frame when a leaf's retry
+    budget is exhausted.
+
+    Continuation frames read ``event._value.timing.aborted`` off whatever
+    the event carries; this object satisfies that contract without a real
+    work unit (there is no unit -- the last attempt was lost or timed
+    out, and no further attempt was made).
+    """
+
+    __slots__ = ()
+
+    class _Timing:
+        aborted = True
+        completed_at = None
+
+    timing = _Timing()
+    lost = True
+
+
+_FAILED = _FailedResult()
+
+
+class _LeafAttempt:
+    """Retry shim between one leaf and its continuation frame.
+
+    Installed as the leaf's ``on_done`` target when the config carries a
+    retry-enabled :class:`~repro.system.faults.FaultSpec`.  Each attempt
+    is a fresh work unit; crash losses (``unit.lost``) and completion
+    timeouts trigger resubmission to a live node after exponential
+    backoff, up to ``retry_limit`` resubmissions, after which the run is
+    latched as failed.  Overload-policy aborts pass through untouched --
+    the policy judged the work useless, and retrying it would be a bug.
+
+    Routing draws ride the dedicated ``"retry-route"`` stream, so
+    retry-enabled runs perturb no other stream (and retry-free runs draw
+    nothing).
+    """
+
+    __slots__ = (
+        "manager",
+        "leaf",
+        "deadline",
+        "run",
+        "stage",
+        "parent_on_done",
+        "node_index",
+        "current",
+        "timer",
+        "attempts",
+        "on_unit",
+        "_on_timeout",
+        "_on_backoff",
+    )
+
+    def __init__(
+        self,
+        manager: "ProcessManager",
+        leaf: SimpleTask,
+        deadline: float,
+        run: _TaskRun,
+        stage: int,
+        parent_on_done,
+    ) -> None:
+        self.manager = manager
+        self.leaf = leaf
+        self.deadline = deadline
+        self.run = run
+        self.stage = stage
+        self.parent_on_done = parent_on_done
+        self.node_index = leaf.node_index
+        self.current: Optional[WorkUnit] = None
+        self.timer = None
+        self.attempts = 0
+        self.on_unit = self._unit_done
+        self._on_timeout = self._timeout
+        self._on_backoff = self._backoff
+
+    def launch(self) -> None:
+        self._dispatch(self.node_index)
+
+    def _dispatch(self, node_index: int) -> None:
+        """Submit one attempt (a fresh unit, same virtual deadline)."""
+        manager = self.manager
+        env = manager.env
+        leaf = self.leaf
+        run = self.run
+        timing = fast_timing(
+            ar=env._now, ex=leaf.ex, pex=leaf.pex, dl=self.deadline
+        )
+        leaf.timing = timing
+        unit = WorkUnit(
+            env=env,
+            name=leaf.name,
+            task_class=TaskClass.GLOBAL,
+            node_index=node_index,
+            timing=timing,
+            priority_class=manager._priority_class,
+            global_id=run.global_id,
+            stage=self.stage,
+            natural_deadline=run.deadline,
+            on_done=self.on_unit,
+        )
+        self.current = unit
+        timeout = manager._retry.retry_timeout
+        if timeout > 0.0:
+            self.timer = env._sleep(timeout, self._on_timeout)
+        manager.nodes[node_index].submit_nowait(unit)
+
+    def _unit_done(self, event: Event) -> None:
+        unit = event._value
+        if unit is not self.current:
+            return  # a timed-out attempt completing late: already retried
+        self.current = None
+        timer = self.timer
+        if timer is not None:
+            timer.cancel()
+            self.timer = None
+        if unit.lost:
+            self._retry_or_fail()
+            return
+        self.parent_on_done(event)
+
+    def _timeout(self, _event) -> None:
+        self.timer = None
+        if self.current is None:
+            return
+        # Orphan the in-flight unit: if it completes later anyway, the
+        # staleness check in ``_unit_done`` drops it.
+        self.current = None
+        self._retry_or_fail()
+
+    def _retry_or_fail(self) -> None:
+        manager = self.manager
+        spec = manager._retry
+        attempts = self.attempts
+        if attempts >= spec.retry_limit:
+            self.run.failed = True
+            manager.env._schedule_call(
+                self.parent_on_done, value=_FAILED, priority=NORMAL
+            )
+            return
+        self.attempts = attempts + 1
+        delay = spec.backoff_delay(self.attempts)
+        if delay > 0.0:
+            manager.env._sleep(delay, self._on_backoff)
+        else:
+            self._backoff(None)
+
+    def _backoff(self, _event) -> None:
+        """Backoff elapsed: resubmit to a live node (or the original when
+        the whole cluster is down -- the unit queues until recovery)."""
+        manager = self.manager
+        manager.metrics.retries += 1
+        node_index = self.node_index
+        live = manager._live
+        if live is not None and 0 < live.live_count < live.node_count:
+            indices = live.live_indices()
+            node_index = indices[
+                manager._retry_stream.randrange(len(indices))
+            ]
+        elif live is not None and live.live_count == live.node_count:
+            # All up: spread retries uniformly too (the crash that lost
+            # the unit may already have healed).
+            node_index = manager._retry_stream.randrange(live.node_count)
+        self._dispatch(node_index)
+
+
 class ProcessManager:
     """Coordinates global tasks across the independent nodes."""
 
@@ -310,6 +497,9 @@ class ProcessManager:
         nodes: Sequence[Node],
         assigner: DeadlineAssigner,
         metrics: MetricsCollector,
+        fault_spec=None,
+        live_set=None,
+        retry_stream=None,
     ) -> None:
         self.env = env
         self.nodes = list(nodes)
@@ -319,6 +509,16 @@ class ProcessManager:
         self._priority_class = assigner.psp.priority_class
         self._serial_deadline = assigner.serial_deadline
         self._parallel_deadline = assigner.parallel_deadline
+        # Retry layer: armed only by a retry-enabled FaultSpec; the
+        # fault-free (and retry-free) leaf path costs one None check.
+        if fault_spec is not None and fault_spec.retries_enabled:
+            self._retry = fault_spec
+            self._live = live_set
+            self._retry_stream = retry_stream
+        else:
+            self._retry = None
+            self._live = None
+            self._retry_stream = None
         #: Number of global tasks submitted so far (for tracing/tests).
         self.submitted = 0
 
@@ -395,6 +595,9 @@ class ProcessManager:
                 f"leaf {leaf.name!r} has no node assignment; the workload "
                 "factory must route every simple subtask"
             )
+        if self._retry is not None:
+            _LeafAttempt(self, leaf, deadline, run, stage, on_done).launch()
+            return
         env = self.env
         timing = fast_timing(
             ar=env._now,

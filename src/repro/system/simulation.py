@@ -21,6 +21,7 @@ from ..core.strategies import DeadlineAssigner, parse_assigner
 from ..sim.core import Environment
 from ..sim.rng import StreamFactory
 from .config import PARALLEL, SERIAL, SERIAL_PARALLEL, SystemConfig
+from .faults import FaultInjector, LiveSet
 from .metrics import MetricsCollector, RunResult
 from .node import Node
 from .placement import (
@@ -75,11 +76,31 @@ class Simulation:
             )
             for i in range(config.node_count)
         ]
+        # Fault model: a crash-enabled spec builds the live set and the
+        # injector; anything else (None, or a zero-rate spec) wires
+        # NOTHING -- no streams, no timers, no live set -- so fault-free
+        # runs stay bit-identical to the pre-fault engine.
+        faults = config.faults
+        fault_spec = (
+            faults if faults is not None and faults.enabled else None
+        )
+        self.live_set: Optional[LiveSet] = (
+            LiveSet(config.node_count) if fault_spec is not None else None
+        )
+        self.fault_injector: Optional[FaultInjector] = None
+        retry_stream = (
+            self.streams.get("retry-route")
+            if fault_spec is not None and fault_spec.retries_enabled
+            else None
+        )
         self.process_manager = ProcessManager(
             env=self.env,
             nodes=self.nodes,
             assigner=self.assigner,
             metrics=self.metrics,
+            fault_spec=fault_spec,
+            live_set=self.live_set,
+            retry_stream=retry_stream,
         )
 
         estimator = config.make_estimator()
@@ -106,6 +127,7 @@ class Simulation:
             )
 
         self.global_source: Optional[GlobalTaskSource] = None
+        self.placement_policy: Optional[PlacementPolicy] = None
         global_rate = config.global_arrival_rate
         if global_rate > 0:
             factory = self._make_factory(estimator)
@@ -117,6 +139,19 @@ class Simulation:
                 streams=self.streams,
                 profile=profile,
             )
+
+        if fault_spec is not None:
+            if self.placement_policy is not None:
+                self.placement_policy.attach_live_set(self.live_set)
+            self.fault_injector = FaultInjector(
+                env=self.env,
+                nodes=self.nodes,
+                spec=fault_spec,
+                streams=self.streams,
+                metrics=self.metrics,
+                live_set=self.live_set,
+            )
+            self.fault_injector.start()
 
     def _make_placement(self) -> PlacementPolicy:
         """Build the configured subtask placement policy.
@@ -147,6 +182,8 @@ class Simulation:
     def _make_factory(self, estimator) -> GlobalTaskFactory:
         config = self.config
         placement = self._make_placement()
+        # Retained so the fault injector can attach its live set.
+        self.placement_policy = placement
         if config.task_structure == SERIAL:
             return SerialChainFactory(
                 node_count=config.node_count,

@@ -23,8 +23,9 @@ DISPATCH = "dispatch"
 PREEMPT = "preempt"
 ABORT = "abort"
 COMPLETE = "complete"
+LOST = "lost"
 
-KINDS = (SUBMIT, DISPATCH, PREEMPT, ABORT, COMPLETE)
+KINDS = (SUBMIT, DISPATCH, PREEMPT, ABORT, COMPLETE, LOST)
 
 
 @dataclass(frozen=True)

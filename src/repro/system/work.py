@@ -40,6 +40,7 @@ class WorkUnit:
         "global_id",
         "stage",
         "natural_deadline",
+        "lost",
     )
 
     def __init__(
@@ -79,6 +80,10 @@ class WorkUnit:
         #: construction, no lazy property, no callback-list append), but
         #: single-listener only; external joiners use :attr:`done`.
         self.on_done = on_done
+        #: True when a node crash discarded this unit (as opposed to an
+        #: overload-policy abort).  The process manager's retry layer only
+        #: retries crash losses, never policy aborts.
+        self.lost = False
         #: Id of the enclosing global task, if any (for tracing).
         self.global_id = global_id
         #: Stage index within the enclosing global task (for tracing).

@@ -209,6 +209,7 @@ class LocalTaskSource:
         unit.global_id = None
         unit.stage = None
         unit.natural_deadline = dl
+        unit.lost = False
         self._submit(unit)
         # Inlined env._sleep(gap, self._on_arrive): one next-arrival
         # timer per task for the whole run (cf. Node._dispatch_next).
@@ -254,6 +255,7 @@ class LocalTaskSource:
         unit.global_id = None
         unit.stage = None
         unit.natural_deadline = dl
+        unit.lost = False
         self._submit(unit)
         gap = self._next_interarrival() / self._profile(ar)
         pool = env._sleep_pool

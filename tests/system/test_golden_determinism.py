@@ -273,6 +273,119 @@ class TestScenarioBaselineGolden:
         assert result.global_.mean_response == 3.4160475119459655
 
 
+class TestFaultInjectionGolden:
+    """Exact values for the fault-injection path, pinned at introduction.
+
+    Two scenarios cover both crash semantics: ``steady-churn``
+    (resume/preserved -- downtime is pure latency, nothing is destroyed)
+    and ``lossy-recovery`` (lost/dropped -- crashes destroy in-flight and
+    queued work and the retry layer re-routes).  The fault clocks, blast
+    cohorts, and retry routing all draw from dedicated named streams
+    (``fault-ttf/*``, ``fault-ttr/*``, ``retry-route``), so these pins
+    must survive any future change that leaves the fault model alone --
+    and conversely the fault-free classes above must survive changes to
+    the fault model.
+    """
+
+    @pytest.fixture(scope="class")
+    def churn_result(self):
+        from repro.scenarios import get_scenario
+
+        config = get_scenario("steady-churn").to_config(
+            sim_time=SIM_TIME, warmup_time=WARMUP, seed=17, strategy="EQF",
+        )
+        return simulate(config)
+
+    def test_churn_counts(self, churn_result):
+        assert churn_result.local.completed == 5042
+        assert churn_result.local.missed == 1511
+        assert churn_result.local.aborted == 0
+        assert churn_result.global_.completed == 436
+        assert churn_result.global_.missed == 159
+        assert churn_result.global_.failed == 0
+
+    def test_churn_fault_counters(self, churn_result):
+        assert [n.crashes for n in churn_result.per_node] == [
+            9, 4, 5, 5, 6, 5,
+        ]
+        assert churn_result.total_crashes == 34
+        # resume/preserved semantics: crashes never destroy work.
+        assert churn_result.total_lost == 0
+        assert churn_result.retries == 2
+
+    def test_churn_means_exact(self, churn_result):
+        assert churn_result.local.mean_response == 3.768525807189649
+        assert churn_result.global_.mean_response == 9.036001389070615
+        assert churn_result.per_node[0].downtime == 0.0709893019367737
+        assert churn_result.mean_availability == 0.9484091823687335
+        assert churn_result.per_node[0].utilization == 0.5133523581655055
+        assert churn_result.mean_active_utilization == 0.5133543209666424
+
+    def test_churn_per_node_dispatch_counts(self, churn_result):
+        assert [n.dispatched for n in churn_result.per_node] == [
+            1159, 1109, 1193, 1126, 1102, 1100,
+        ]
+
+    def test_churn_trace_on_equals_trace_off(self, churn_result):
+        from repro.scenarios import get_scenario
+
+        config = get_scenario("steady-churn").to_config(
+            sim_time=SIM_TIME, warmup_time=WARMUP, seed=17, strategy="EQF",
+            trace=True,
+        )
+        assert simulate(config) == churn_result
+
+    @pytest.fixture(scope="class")
+    def lossy_result(self):
+        from repro.scenarios import get_scenario
+
+        config = get_scenario("lossy-recovery").to_config(
+            sim_time=SIM_TIME, warmup_time=WARMUP, seed=17, strategy="UD",
+        )
+        return simulate(config)
+
+    def test_lossy_counts(self, lossy_result):
+        assert lossy_result.local.completed == 5022
+        assert lossy_result.local.missed == 1421
+        # Crash-discarded local tasks count as aborted (they never finish).
+        assert lossy_result.local.aborted == 17
+        assert lossy_result.global_.completed == 435
+        assert lossy_result.global_.missed == 182
+        # The 3-deep retry budget saved every crash-lost subtask here.
+        assert lossy_result.global_.failed == 0
+
+    def test_lossy_fault_counters(self, lossy_result):
+        assert [n.crashes for n in lossy_result.per_node] == [
+            6, 2, 5, 1, 5, 3,
+        ]
+        assert [n.lost for n in lossy_result.per_node] == [
+            6, 8, 3, 0, 7, 1,
+        ]
+        assert lossy_result.total_crashes == 22
+        assert lossy_result.total_lost == 25
+        assert lossy_result.retries == 8
+
+    def test_lossy_means_exact(self, lossy_result):
+        assert lossy_result.local.mean_response == 4.597218189558332
+        assert lossy_result.global_.mean_response == 10.04006012236444
+        assert lossy_result.per_node[0].downtime == 0.07303003922243928
+        assert lossy_result.mean_availability == 0.9514566636821553
+
+    def test_lossy_per_node_dispatch_counts(self, lossy_result):
+        assert [n.dispatched for n in lossy_result.per_node] == [
+            1168, 1096, 1194, 1137, 1069, 1110,
+        ]
+
+    def test_lossy_trace_on_equals_trace_off(self, lossy_result):
+        from repro.scenarios import get_scenario
+
+        config = get_scenario("lossy-recovery").to_config(
+            sim_time=SIM_TIME, warmup_time=WARMUP, seed=17, strategy="UD",
+            trace=True,
+        )
+        assert simulate(config) == lossy_result
+
+
 def _compiled_kernel_available() -> bool:
     """True when the optional compiled engine extension is built."""
     spec = importlib.util.find_spec("repro.sim._engine_c")
