@@ -1,0 +1,249 @@
+"""Checkpoint/resume for live simulations, and crash-safe file writes.
+
+Long-horizon runs (ROADMAP items 2, 4, 5) need restart safety: a
+FULL-scale run that dies at 95% must not lose everything.  This module
+snapshots a live :class:`~repro.system.simulation.Simulation` -- engine
+event heap + urgent deque + sleep pool + clock/seq, every RNG stream's
+Mersenne state, metrics tallies, node/fault/process-manager continuation
+state -- and restores it such that *resume == straight-through, bit for
+bit* (pinned by ``tests/system/test_golden_determinism.py``).
+
+File format
+-----------
+
+A checkpoint file is two consecutive pickle frames written atomically:
+
+1. a small **header** dict (``magic``, ``version``, ``kernel``, ``seed``,
+   ``config``, ``now``) that is read and validated *before* the payload
+   is touched, so a mismatched file fails with a clear error instead of
+   an obscure unpickling one;
+2. the **payload**: the simulation object graph plus the positions of
+   the module-level id counters (work-unit ids, global-task ids), which
+   trace labels derive from.
+
+Checkpoints are specific to the kernel leg that wrote them: the pickle
+stores engine class paths (``repro.sim._engine`` vs ``_engine_c``), and
+the two legs' objects are not interchangeable.  The header records the
+leg and :func:`load_checkpoint` refuses a mismatch.
+
+Not captured: generator processes (:class:`repro.sim.process.Process`)
+and conditions -- the system model is a pure callback machine and never
+uses them, so this only matters for hand-built models, which fail with
+a clear ``TypeError`` at save time.
+"""
+
+from __future__ import annotations
+
+import io
+import itertools
+import os
+import pickle
+import tempfile
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, Tuple
+
+from .sim.core import KERNEL
+
+#: First bytes of every checkpoint file (as a pickled header field).
+CHECKPOINT_MAGIC = "repro-checkpoint"
+CHECKPOINT_VERSION = 1
+
+#: Protocol 4 is supported by every Python this package runs on and is
+#: stable across minor versions, unlike HIGHEST_PROTOCOL.
+_PROTOCOL = 4
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint file is missing, corrupt, or incompatible."""
+
+
+def atomic_write(path: Any, data: bytes) -> None:
+    """Write ``data`` to ``path`` atomically (temp + fsync + rename).
+
+    The bytes land in a temporary file in the same directory, are
+    fsync'd, and replace ``path`` in one :func:`os.replace` -- so a
+    reader never observes a torn write: either the old file or the new
+    one, never a prefix.
+    """
+    path = os.fspath(path)
+    directory = os.path.dirname(path) or "."
+    fd, tmp = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+@dataclass(frozen=True)
+class CheckpointPolicy:
+    """When and where :meth:`Simulation.run` snapshots a live run.
+
+    At least one trigger must be set: ``every_events`` snapshots after
+    that many kernel events, ``every_seconds`` after that much wall
+    time.  Triggers are checked at slice boundaries of the sliced run
+    loop (the run is cut into ~128 time slices per phase), so the
+    granularity is bounded by the slice length, not exact.
+    """
+
+    path: str
+    every_events: int = 0
+    every_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.every_events < 0:
+            raise ValueError(
+                f"every_events must be >= 0, got {self.every_events}"
+            )
+        if self.every_seconds < 0:
+            raise ValueError(
+                f"every_seconds must be >= 0, got {self.every_seconds}"
+            )
+        if self.every_events == 0 and self.every_seconds == 0:
+            raise ValueError(
+                "checkpoint policy needs at least one trigger: set "
+                "every_events and/or every_seconds"
+            )
+
+
+class _Trigger:
+    """Slice-boundary bookkeeping for a :class:`CheckpointPolicy`."""
+
+    def __init__(self, policy: CheckpointPolicy, env: Any) -> None:
+        self.policy = policy
+        self.env = env
+        self._last_seq = env._seq_peek()
+        self._last_wall = time.monotonic()
+
+    def due(self) -> bool:
+        policy = self.policy
+        if policy.every_events > 0:
+            if self.env._seq_peek() - self._last_seq >= policy.every_events:
+                return True
+        if policy.every_seconds > 0:
+            if time.monotonic() - self._last_wall >= policy.every_seconds:
+                return True
+        return False
+
+    def saved(self) -> None:
+        self._last_seq = self.env._seq_peek()
+        self._last_wall = time.monotonic()
+
+
+def _counter_positions() -> Tuple[int, int]:
+    """Snapshot the module-level id counters without perturbing them.
+
+    ``itertools.count`` cannot be read non-destructively, so each
+    counter is drawn once and replaced by a fresh counter starting at
+    the drawn value.  ``workload`` imports ``_unit_counter`` by name, so
+    the *same* fresh object must be rebound into both module namespaces.
+    """
+    from .system import process_manager, work, workload
+
+    unit = next(work._unit_counter)
+    fresh_unit = itertools.count(unit)
+    work._unit_counter = fresh_unit
+    workload._unit_counter = fresh_unit
+
+    global_ = next(process_manager._global_counter)
+    process_manager._global_counter = itertools.count(global_)
+    return unit, global_
+
+
+def _restore_counters(unit: int, global_: int) -> None:
+    from .system import process_manager, work, workload
+
+    fresh_unit = itertools.count(unit)
+    work._unit_counter = fresh_unit
+    workload._unit_counter = fresh_unit
+    process_manager._global_counter = itertools.count(global_)
+
+
+def save_checkpoint(simulation: Any, path: Any) -> None:
+    """Atomically snapshot ``simulation`` (and the id counters) to ``path``."""
+    header = {
+        "magic": CHECKPOINT_MAGIC,
+        "version": CHECKPOINT_VERSION,
+        "kernel": KERNEL,
+        "seed": simulation.config.seed,
+        "config": simulation.config.describe(),
+        "now": simulation.env.now,
+    }
+    unit, global_ = _counter_positions()
+    payload = {
+        "simulation": simulation,
+        "unit_counter": unit,
+        "global_counter": global_,
+    }
+    buffer = io.BytesIO()
+    pickle.dump(header, buffer, protocol=_PROTOCOL)
+    pickle.dump(payload, buffer, protocol=_PROTOCOL)
+    atomic_write(path, buffer.getvalue())
+
+
+def _validate_header(header: Any, path: str) -> Dict[str, Any]:
+    if (
+        not isinstance(header, dict)
+        or header.get("magic") != CHECKPOINT_MAGIC
+    ):
+        raise CheckpointError(f"{path}: not a repro checkpoint file")
+    version = header.get("version")
+    if version != CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"{path}: checkpoint version {version} is not supported "
+            f"(this build reads version {CHECKPOINT_VERSION})"
+        )
+    kernel = header.get("kernel")
+    if kernel != KERNEL:
+        raise CheckpointError(
+            f"{path}: checkpoint was written under the {kernel!r} kernel "
+            f"leg but this process runs {KERNEL!r}; restore under "
+            f"REPRO_KERNEL={kernel} (checkpoints are not portable across "
+            "kernel legs)"
+        )
+    return header
+
+
+def read_checkpoint_header(path: Any) -> Dict[str, Any]:
+    """Read and validate a checkpoint's header frame (cheap; no payload)."""
+    path = os.fspath(path)
+    try:
+        with open(path, "rb") as handle:
+            header = pickle.load(handle)
+    except FileNotFoundError:
+        raise
+    except Exception as exc:
+        raise CheckpointError(f"{path}: not a repro checkpoint file ({exc})")
+    return _validate_header(header, path)
+
+
+def load_checkpoint(path: Any) -> Any:
+    """Restore the simulation saved at ``path``.
+
+    Returns the :class:`~repro.system.simulation.Simulation`, ready for
+    ``run()`` (which finishes the run exactly as the uninterrupted one
+    would have, bit for bit).  Also restores the module-level id
+    counters, so trace labels continue the original numbering.
+    """
+    path = os.fspath(path)
+    with open(path, "rb") as handle:
+        try:
+            header = pickle.load(handle)
+        except Exception as exc:
+            raise CheckpointError(
+                f"{path}: not a repro checkpoint file ({exc})"
+            )
+        _validate_header(header, path)
+        payload = pickle.load(handle)
+    _restore_counters(payload["unit_counter"], payload["global_counter"])
+    return payload["simulation"]

@@ -9,9 +9,12 @@ Usage::
     repro-experiments run Fig2 --workers 4 --batch-size 5 # 5 runs/dispatch
     repro-experiments run V6 --scale smoke
     repro-experiments simulate --strategy EQF --load 0.5 --structure serial
+    repro-experiments simulate --strategy EQF --checkpoint run.ckpt
+    repro-experiments simulate --resume run.ckpt
     repro-experiments scenarios list
     repro-experiments scenarios run bursty-mmpp --strategy EQF --seed 7
     repro-experiments scenarios sweep --scale quick --workers 0
+    repro-experiments scenarios sweep --scale smoke --journal sweep.json
 
 Every experiment id in ``repro-experiments list`` maps to one table/figure
 of the paper (see DESIGN.md's experiment index); ``scenarios`` drives the
@@ -23,12 +26,19 @@ verbatim.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Optional, Sequence
 
+from .checkpoint import CheckpointError, CheckpointPolicy, load_checkpoint
 from .experiments.figures import FigureResult
 from .experiments.registry import EXPERIMENTS, get_experiment
-from .experiments.runner import SCALES, resolve_batch_size, resolve_workers
+from .experiments.runner import (
+    SCALES,
+    JournalError,
+    resolve_batch_size,
+    resolve_workers,
+)
 from .experiments.variations import VariationResult
 from .scenarios import (
     DEFAULT_STRATEGIES,
@@ -121,6 +131,42 @@ def _build_parser() -> argparse.ArgumentParser:
         default=1,
         help="master random seed (echoed in the output for reproducibility)",
     )
+    simulate.add_argument(
+        "--checkpoint",
+        metavar="PATH",
+        default=None,
+        help=(
+            "periodically snapshot the run to this file (resume with "
+            "--resume; the finished result is bit-identical either way)"
+        ),
+    )
+    simulate.add_argument(
+        "--checkpoint-events",
+        type=int,
+        default=0,
+        metavar="N",
+        help="checkpoint every N simulation events (with --checkpoint)",
+    )
+    simulate.add_argument(
+        "--checkpoint-seconds",
+        type=float,
+        default=0.0,
+        metavar="T",
+        help=(
+            "checkpoint every T wall-clock seconds (with --checkpoint; "
+            "default 60 when no other trigger is given)"
+        ),
+    )
+    simulate.add_argument(
+        "--resume",
+        metavar="PATH",
+        default=None,
+        help=(
+            "resume from a checkpoint file instead of starting fresh "
+            "(the config flags above are ignored; the checkpoint "
+            "carries its own)"
+        ),
+    )
 
     scenarios = sub.add_parser(
         "scenarios",
@@ -189,6 +235,16 @@ def _add_grid_arguments(parser: argparse.ArgumentParser) -> None:
         default=0,
         help="runs per warm-worker pool dispatch (default: 0 = auto)",
     )
+    parser.add_argument(
+        "--journal",
+        metavar="PATH",
+        default=None,
+        help=(
+            "restart-safe journal: completed runs land in this JSON file "
+            "as they finish, and a re-run with the same journal skips "
+            "them and reproduces the identical report"
+        ),
+    )
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
@@ -246,18 +302,60 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_simulate(args: argparse.Namespace) -> int:
-    config = SystemConfig(
-        strategy=args.strategy,
-        load=args.load,
-        frac_local=args.frac_local,
-        task_structure=args.structure,
-        scheduler=args.scheduler,
-        sim_time=args.sim_time,
-        warmup_time=args.warmup,
-        seed=args.seed,
+def _checkpoint_policy(args: argparse.Namespace) -> Optional[CheckpointPolicy]:
+    """Build the ``--checkpoint`` policy, defaulting to a 60 s timer."""
+    if args.checkpoint is None:
+        if args.checkpoint_events or args.checkpoint_seconds:
+            raise ValueError(
+                "--checkpoint-events/--checkpoint-seconds need --checkpoint "
+                "PATH to write to"
+            )
+        return None
+    every_events = args.checkpoint_events
+    every_seconds = args.checkpoint_seconds
+    if not every_events and not every_seconds:
+        every_seconds = 60.0
+    return CheckpointPolicy(
+        path=args.checkpoint,
+        every_events=every_events,
+        every_seconds=every_seconds,
     )
-    result = Simulation(config).run()
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    try:
+        policy = _checkpoint_policy(args)
+        if args.resume is not None:
+            simulation = load_checkpoint(args.resume)
+            print(
+                f"resumed from {args.resume} at t={simulation.env.now:g}",
+                file=sys.stderr,
+            )
+        else:
+            simulation = None
+    except FileNotFoundError:
+        print(
+            f"error: {args.resume}: no such checkpoint file (a run "
+            "shorter than its first trigger interval writes none)",
+            file=sys.stderr,
+        )
+        return 2
+    except (CheckpointError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if simulation is None:
+        simulation = Simulation(SystemConfig(
+            strategy=args.strategy,
+            load=args.load,
+            frac_local=args.frac_local,
+            task_structure=args.structure,
+            scheduler=args.scheduler,
+            sim_time=args.sim_time,
+            warmup_time=args.warmup,
+            seed=args.seed,
+        ))
+    result = simulation.run(checkpoint=policy)
+    config = simulation.config
     rows = [
         ["MD_local", format_percent(result.md_local)],
         ["MD_global", format_percent(result.md_global)],
@@ -322,14 +420,19 @@ def _cmd_scenarios_run(args: argparse.Namespace) -> int:
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    estimate = run_scenario(
-        spec,
-        strategy=args.strategy,
-        scale=scale,
-        seed=args.seed,
-        workers=workers,
-        batch_size=args.batch_size,
-    )
+    try:
+        estimate = run_scenario(
+            spec,
+            strategy=args.strategy,
+            scale=scale,
+            seed=args.seed,
+            workers=workers,
+            batch_size=args.batch_size,
+            journal=args.journal,
+        )
+    except JournalError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     rows = [
         ["MD_global", format_percent(estimate.md_global.mean)],
         ["MD_local", format_percent(estimate.md_local.mean)],
@@ -373,14 +476,31 @@ def _cmd_scenarios_sweep(args: argparse.Namespace) -> int:
         f"batch-size={args.batch_size or 'auto'} seed={args.seed} ...",
         file=sys.stderr,
     )
-    result = run_scenario_sweep(
-        specs,
-        strategies=args.strategies,
-        scale=scale,
-        seed=args.seed,
-        workers=workers,
-        batch_size=args.batch_size,
-    )
+    journal = args.journal
+    if journal is not None:
+        # Echo the resolved path so operators know exactly which file a
+        # re-run must point at to skip the completed cells.
+        journal = os.path.abspath(journal)
+        print(f"journal: {journal}", file=sys.stderr)
+    try:
+        result = run_scenario_sweep(
+            specs,
+            strategies=args.strategies,
+            scale=scale,
+            seed=args.seed,
+            workers=workers,
+            batch_size=args.batch_size,
+            journal=journal,
+        )
+    except JournalError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if result.journal_restored:
+        print(
+            f"journal: restored {result.journal_restored} completed "
+            "run(s); skipped re-running them",
+            file=sys.stderr,
+        )
     print(result.table())
     print(f"resolved seed: {args.seed}")
     return 0

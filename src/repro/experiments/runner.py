@@ -18,7 +18,10 @@ every estimate carries a Student-t confidence interval.
 
 from __future__ import annotations
 
+import hashlib
+import json
 import multiprocessing
+import os
 import warnings
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
@@ -26,6 +29,7 @@ from dataclasses import dataclass
 from functools import cached_property
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..checkpoint import atomic_write
 from ..stats.confidence import IntervalEstimate, interval_from_samples
 from ..system.config import SystemConfig
 from ..system.metrics import RunResult
@@ -193,9 +197,94 @@ def _aggregate(
     )
 
 
+@dataclass(frozen=True)
+class RecoveredCell:
+    """One run re-executed by the resilient pool's fallback paths.
+
+    ``mode`` is ``"resubmitted"`` (the run's batch was lost with a dying
+    worker and resubmitted on a fresh pool) or ``"in-process"`` (the
+    pool broke twice and the run fell back to the parent process).
+    """
+
+    mode: str
+    seed: int
+    description: str
+
+
+class JournalError(RuntimeError):
+    """A sweep journal is corrupt or belongs to a different sweep."""
+
+
+#: Identifies a sweep journal file (JSON, written atomically per cell).
+JOURNAL_MAGIC = "repro-sweep-journal"
+JOURNAL_VERSION = 1
+
+
+def _grid_fingerprint(flat: Sequence[SystemConfig]) -> str:
+    """Digest of the flattened (cell x replication) config list.
+
+    ``SystemConfig`` is a frozen dataclass with a deterministic repr
+    covering every field (seeds included), so two sweeps share a
+    fingerprint iff they would run exactly the same runs in the same
+    order -- the condition for journal entries to be interchangeable.
+    """
+    digest = hashlib.sha256()
+    for config in flat:
+        digest.update(repr(config).encode())
+        digest.update(b"\x1f")
+    return digest.hexdigest()
+
+
+def _load_journal(path: str, fingerprint: str) -> Dict[int, RunResult]:
+    """Completed runs recorded in the journal at ``path`` (may be empty)."""
+    if not os.path.exists(path):
+        return {}
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except (OSError, ValueError) as exc:
+        raise JournalError(f"{path}: unreadable sweep journal ({exc})")
+    if not isinstance(data, dict) or data.get("magic") != JOURNAL_MAGIC:
+        raise JournalError(f"{path}: not a sweep journal")
+    if data.get("version") != JOURNAL_VERSION:
+        raise JournalError(
+            f"{path}: journal version {data.get('version')} is not "
+            f"supported (this build reads version {JOURNAL_VERSION})"
+        )
+    if data.get("fingerprint") != fingerprint:
+        raise JournalError(
+            f"{path}: journal belongs to a different sweep (its "
+            "spec/seed/scale fingerprint does not match this one); "
+            "delete it or point --journal somewhere else instead of "
+            "mixing results"
+        )
+    return {
+        int(index): RunResult.from_dict(result)
+        for index, result in data["cells"].items()
+    }
+
+
+def _write_journal(
+    path: str, fingerprint: str, runs: int, completed: Dict[int, RunResult]
+) -> None:
+    data = {
+        "magic": JOURNAL_MAGIC,
+        "version": JOURNAL_VERSION,
+        "fingerprint": fingerprint,
+        "runs": runs,
+        "cells": {
+            str(index): completed[index].to_dict()
+            for index in sorted(completed)
+        },
+    }
+    atomic_write(path, json.dumps(data, sort_keys=True).encode())
+
+
 def _run_batches_resilient(
-    batches: List[List[SystemConfig]], processes: int
-) -> List[List[RunResult]]:
+    batches: List[List[SystemConfig]],
+    processes: int,
+    on_batch: Optional[Callable[[int, List[RunResult]], None]] = None,
+) -> Tuple[List[List[RunResult]], List[RecoveredCell]]:
     """Run config batches on a process pool, surviving worker death.
 
     A worker that dies mid-batch (OOM kill, a segfaulting extension, a
@@ -204,12 +293,17 @@ def _run_batches_resilient(
     Graceful degradation instead: collect every batch that did finish,
     resubmit the unfinished ones once on a fresh executor, and if that
     breaks too, run the remainder in-process.  Each path emits a
-    :class:`RuntimeWarning` naming what happened.  Results are
-    positionally identical on every path -- a batch is a pure function
-    of its configs (fixed seeds), so *where* it runs cannot change
-    *what* it returns.
+    :class:`RuntimeWarning` naming what happened, and every run touched
+    by a fallback is returned as a :class:`RecoveredCell` so reports can
+    surface what degraded.  Results are positionally identical on every
+    path -- a batch is a pure function of its configs (fixed seeds), so
+    *where* it runs cannot change *what* it returns.
+
+    ``on_batch(index, results)`` fires once per batch as its results
+    arrive (journaling hook).
     """
     results: List[Optional[List[RunResult]]] = [None] * len(batches)
+    recovered: List[RecoveredCell] = []
     pending = list(range(len(batches)))
     for round_ in range(2):
         broken = False
@@ -223,16 +317,29 @@ def _run_batches_resilient(
                     results[index] = future.result()
                 except BrokenProcessPool:
                     broken = True
+                else:
+                    if on_batch is not None:
+                        on_batch(index, results[index])
         if not broken:
-            return results
+            return results, recovered
         pending = [index for index in pending if results[index] is None]
         if round_ == 0:
+            recovered.extend(
+                RecoveredCell("resubmitted", config.seed, config.describe())
+                for index in pending
+                for config in batches[index]
+            )
             warnings.warn(
                 f"a sweep worker died; resubmitting {len(pending)} "
                 f"unfinished batch(es) on a fresh pool",
                 RuntimeWarning,
                 stacklevel=3,
             )
+    recovered.extend(
+        RecoveredCell("in-process", config.seed, config.describe())
+        for index in pending
+        for config in batches[index]
+    )
     warnings.warn(
         f"the process pool broke twice; running the remaining "
         f"{len(pending)} batch(es) in-process",
@@ -241,17 +348,33 @@ def _run_batches_resilient(
     )
     for index in pending:
         results[index] = run_config_batch(batches[index])
-    return results
+        if on_batch is not None:
+            on_batch(index, results[index])
+    return results, recovered
 
 
-def run_grid(
+@dataclass(frozen=True)
+class GridRunReport:
+    """Estimates of one grid run plus how resiliently it got there."""
+
+    estimates: List[PointEstimate]
+    #: Runs re-executed by the pool's degradation paths (empty normally).
+    recovered: Tuple[RecoveredCell, ...] = ()
+    #: The journal file used, if any.
+    journal_path: Optional[str] = None
+    #: Runs restored from the journal instead of being re-run.
+    journal_restored: int = 0
+
+
+def run_grid_report(
     configs: Sequence[SystemConfig],
     replications: int,
     workers: int = 1,
     runner: Optional[Callable[[SystemConfig], RunResult]] = None,
     level: float = 0.95,
     batch_size: int = 0,
-) -> List[PointEstimate]:
+    journal: Optional[str] = None,
+) -> GridRunReport:
     """Run every grid cell in ``configs``, each ``replications`` times.
 
     This is the shared engine behind :func:`replicate`, :func:`sweep`, and
@@ -267,7 +390,16 @@ def run_grid(
     submission order, and batches are contiguous slices of the flattened
     grid.  A worker dying mid-sweep does not lose the grid: the failed
     batches are resubmitted once, then fall back to in-process execution
-    (see :func:`_run_batches_resilient`).
+    (see :func:`_run_batches_resilient`); the report lists every run a
+    fallback touched.
+
+    ``journal`` makes the grid *restart-safe*: each completed run is
+    appended to the JSON journal at that path (written atomically, so a
+    SIGKILL never leaves a corrupt file), and a re-run with the same
+    journal skips the recorded runs and reproduces the identical
+    estimates.  A journal written by a *different* grid (any config or
+    seed differs) raises :class:`JournalError` instead of silently
+    mixing results.
 
     An injected ``runner`` cannot cross process boundaries (closures
     generally do not pickle), so ``workers > 1`` with a runner emits a
@@ -279,28 +411,57 @@ def run_grid(
             "workers > 1 requires picklable work; the injected runner runs "
             "serially in-process",
             RuntimeWarning,
-            stacklevel=2,
+            stacklevel=3,
         )
     flat = [
         replication
         for config in configs
         for replication in _replication_configs(config, replications)
     ]
+    fingerprint = ""
+    completed: Dict[int, RunResult] = {}
+    if journal is not None:
+        fingerprint = _grid_fingerprint(flat)
+        completed = _load_journal(journal, fingerprint)
+    restored = len(completed)
+    flat_results: List[Optional[RunResult]] = [
+        completed.get(index) for index in range(len(flat))
+    ]
+    pending = [index for index in range(len(flat)) if index not in completed]
+
+    def journal_runs(indices: Sequence[int], results: Sequence[RunResult]):
+        for index, result in zip(indices, results):
+            completed[index] = result
+        _write_journal(journal, fingerprint, len(flat), completed)
+
+    recovered: List[RecoveredCell] = []
     # Never fork more processes than runs or CPU cores: oversubscribing a
     # CPU-bound pool only adds fork/IPC overhead.
-    processes = min(workers, len(flat), multiprocessing.cpu_count())
+    processes = min(workers, len(pending), multiprocessing.cpu_count())
     if processes > 1 and runner is None:
-        size = resolve_batch_size(batch_size, len(flat), processes)
-        batches = [flat[i:i + size] for i in range(0, len(flat), size)]
-        flat_results = [
-            result
-            for batch in _run_batches_resilient(batches, processes)
-            for result in batch
+        size = resolve_batch_size(batch_size, len(pending), processes)
+        index_slices = [
+            pending[i:i + size] for i in range(0, len(pending), size)
         ]
+        batches = [[flat[index] for index in slice_] for slice_ in index_slices]
+        on_batch = None
+        if journal is not None:
+            def on_batch(batch_index: int, results: List[RunResult]) -> None:
+                journal_runs(index_slices[batch_index], results)
+        batch_results, recovered = _run_batches_resilient(
+            batches, processes, on_batch
+        )
+        for indices, results in zip(index_slices, batch_results):
+            for index, result in zip(indices, results):
+                flat_results[index] = result
     else:
         run = runner or run_config
-        flat_results = [run(config) for config in flat]
-    return [
+        for index in pending:
+            result = run(flat[index])
+            flat_results[index] = result
+            if journal is not None:
+                journal_runs([index], [result])
+    estimates = [
         _aggregate(
             config,
             flat_results[i * replications:(i + 1) * replications],
@@ -308,6 +469,33 @@ def run_grid(
         )
         for i, config in enumerate(configs)
     ]
+    return GridRunReport(
+        estimates=estimates,
+        recovered=tuple(recovered),
+        journal_path=journal,
+        journal_restored=restored,
+    )
+
+
+def run_grid(
+    configs: Sequence[SystemConfig],
+    replications: int,
+    workers: int = 1,
+    runner: Optional[Callable[[SystemConfig], RunResult]] = None,
+    level: float = 0.95,
+    batch_size: int = 0,
+    journal: Optional[str] = None,
+) -> List[PointEstimate]:
+    """:func:`run_grid_report`, returning just the estimates (see there)."""
+    return run_grid_report(
+        configs,
+        replications,
+        workers=workers,
+        runner=runner,
+        level=level,
+        batch_size=batch_size,
+        journal=journal,
+    ).estimates
 
 
 def replicate(
@@ -317,6 +505,7 @@ def replicate(
     runner: Optional[Callable[[SystemConfig], RunResult]] = None,
     workers: int = 1,
     batch_size: int = 0,
+    journal: Optional[str] = None,
 ) -> PointEstimate:
     """Estimate one data point from ``replications`` independent runs.
 
@@ -336,7 +525,7 @@ def replicate(
     """
     return run_grid(
         [config], replications, workers=workers, runner=runner, level=level,
-        batch_size=batch_size,
+        batch_size=batch_size, journal=journal,
     )[0]
 
 
@@ -357,6 +546,10 @@ class SweepResult:
     x_values: Sequence[float]
     strategies: Sequence[str]
     points: Sequence[SweepPoint]
+    #: Runs re-executed by the pool's degradation paths (empty normally).
+    recovered: Tuple[RecoveredCell, ...] = ()
+    #: Runs restored from a sweep journal instead of being re-run.
+    journal_restored: int = 0
 
     @cached_property
     def _index(self) -> Dict[Tuple[float, str], SweepPoint]:
@@ -396,6 +589,7 @@ def sweep(
     runner: Optional[Callable[[SystemConfig], RunResult]] = None,
     workers: int = 1,
     batch_size: int = 0,
+    journal: Optional[str] = None,
 ) -> SweepResult:
     """Run a grid of (parameter value x strategy) data points.
 
@@ -405,7 +599,8 @@ def sweep(
     parallelizes the *whole* (value x strategy x replication) grid in one
     process pool, sliced into warm-interpreter batches of ``batch_size``
     runs (``0`` = auto; see :func:`run_grid`); results are identical to a
-    single-worker run.
+    single-worker run.  ``journal`` makes the sweep restart-safe (see
+    :func:`run_grid_report`).
     """
     cells: List[Tuple[float, str]] = []
     configs: List[SystemConfig] = []
@@ -421,9 +616,9 @@ def sweep(
                     )
                 )
             )
-    estimates = run_grid(
+    report = run_grid_report(
         configs, scale.replications, workers=workers, runner=runner,
-        batch_size=batch_size,
+        batch_size=batch_size, journal=journal,
     )
     return SweepResult(
         parameter=parameter,
@@ -431,6 +626,8 @@ def sweep(
         strategies=list(strategies),
         points=[
             SweepPoint(x=value, strategy=strategy, estimate=estimate)
-            for (value, strategy), estimate in zip(cells, estimates)
+            for (value, strategy), estimate in zip(cells, report.estimates)
         ],
+        recovered=report.recovered,
+        journal_restored=report.journal_restored,
     )

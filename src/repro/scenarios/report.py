@@ -22,9 +22,10 @@ from typing import List, Optional, Sequence, Tuple
 from ..experiments.runner import (
     QUICK,
     PointEstimate,
+    RecoveredCell,
     RunScale,
     replicate,
-    run_grid,
+    run_grid_report,
 )
 from ..stats.tables import format_percent, render_table
 from ..system.config import SystemConfig
@@ -52,6 +53,11 @@ class ScenarioSweepResult:
     strategies: Sequence[str]
     cells: Sequence[ScenarioCell]
     seed: int
+    #: Runs re-executed by the pool's degradation paths (empty normally;
+    #: see :class:`~repro.experiments.runner.RecoveredCell`).
+    recovered: Tuple[RecoveredCell, ...] = ()
+    #: Runs restored from a sweep journal instead of being re-run.
+    journal_restored: int = 0
 
     def cell(self, scenario: str, strategy: str) -> ScenarioCell:
         for cell in self.cells:
@@ -112,7 +118,7 @@ class ScenarioSweepResult:
                     estimate.lost,
                     estimate.retries,
                 ])
-        return render_table(
+        table = render_table(
             headers,
             rows,
             title=(
@@ -120,6 +126,17 @@ class ScenarioSweepResult:
                 f"missed-deadline ratio (base seed {self.seed})"
             ),
         )
+        if not self.recovered:
+            return table
+        # Degraded-pool footer: name every run a fallback re-executed, so
+        # operators see exactly what recovered (and can re-verify those
+        # seeds if they distrust the degraded path).  Normal runs print
+        # no footer, keeping reports byte-identical across re-runs.
+        lines = [table, "", "degraded: worker death recovered by fallback"]
+        lines.extend(
+            f"  [{cell.mode}] {cell.description}" for cell in self.recovered
+        )
+        return "\n".join(lines)
 
 
 def scenario_grid_configs(
@@ -149,6 +166,7 @@ def run_scenario(
     seed: int = 1,
     workers: int = 1,
     batch_size: int = 0,
+    journal: Optional[str] = None,
 ) -> PointEstimate:
     """Run one scenario under one strategy (replicated per the scale)."""
     config = scale.apply(spec.to_config(strategy=strategy, seed=seed))
@@ -157,6 +175,7 @@ def run_scenario(
         replications=scale.replications,
         workers=workers,
         batch_size=batch_size,
+        journal=journal,
     )
 
 
@@ -168,6 +187,7 @@ def run_scenario_sweep(
     workers: int = 1,
     batch_size: int = 0,
     runner: Optional[object] = None,
+    journal: Optional[str] = None,
 ) -> ScenarioSweepResult:
     """Run the full scenario x strategy x replication grid.
 
@@ -175,25 +195,30 @@ def run_scenario_sweep(
     process pool in warm-interpreter batches of ``batch_size`` runs
     (``0`` = auto); results are deterministic regardless of either knob.
     ``runner`` may be injected for tests (serial, as in ``run_grid``).
+    ``journal`` makes the sweep restart-safe: completed runs land in the
+    JSON journal at that path as they finish, and a re-run with the same
+    journal skips them and reproduces the identical report (see
+    :func:`~repro.experiments.runner.run_grid_report`).
     """
     if not specs:
         raise ValueError("need at least one scenario")
     if not strategies:
         raise ValueError("need at least one strategy")
     configs = scenario_grid_configs(specs, strategies, scale, seed)
-    estimates = run_grid(
+    report = run_grid_report(
         configs,
         scale.replications,
         workers=workers,
         batch_size=batch_size,
         runner=runner,
+        journal=journal,
     )
     cells = [
         ScenarioCell(
             scenario=spec.name, strategy=strategy, estimate=estimate
         )
         for (spec, strategy), estimate in zip(
-            ((s, t) for s in specs for t in strategies), estimates
+            ((s, t) for s in specs for t in strategies), report.estimates
         )
     ]
     return ScenarioSweepResult(
@@ -201,4 +226,6 @@ def run_scenario_sweep(
         strategies=list(strategies),
         cells=cells,
         seed=seed,
+        recovered=report.recovered,
+        journal_restored=report.journal_restored,
     )

@@ -110,8 +110,24 @@ class _PendingType:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return "<PENDING>"
 
+    def __reduce__(self) -> str:
+        # Pickle by global reference: ``is _PENDING`` identity checks must
+        # keep working on a restored checkpoint.
+        return "_PENDING"
+
 
 _PENDING = _PendingType()
+
+
+def _new_instance(cls: type) -> Any:
+    """Reconstructor for pickled engine objects.
+
+    Event-class ``__init__`` methods push onto the event list as a side
+    effect, so unpickling must bypass them: allocate bare and let
+    ``__setstate__`` fill the slots.  Module-level so pickles reference it
+    by name under either kernel leg.
+    """
+    return cls.__new__(cls)
 
 
 @mypyc_attr(allow_interpreted_subclasses=True)
@@ -229,6 +245,28 @@ class Event:
         )
         return f"<{type(self).__name__} {state} at {id(self):#x}>"
 
+    # -- pickling (checkpoint/resume) ------------------------------------
+
+    def __reduce__(self) -> Any:
+        # The state-third-tuple form, not constructor args: the event
+        # graph is cyclic (env -> queue -> event -> env), and pickle can
+        # only memoize this object between allocation and __setstate__.
+        if type(self) is not Event:
+            raise TypeError(
+                f"cannot pickle {type(self).__name__}: generator processes "
+                "and conditions are not checkpointable"
+            )
+        return (
+            _new_instance,
+            (Event,),
+            (self.env, self.callbacks, self._value, self._ok,
+             self._processed, self._defused),
+        )
+
+    def __setstate__(self, state: Any) -> None:
+        (self.env, self.callbacks, self._value, self._ok,
+         self._processed, self._defused) = state
+
 
 class Timeout(Event):
     """An event that fires automatically after a fixed delay.
@@ -254,6 +292,22 @@ class Timeout(Event):
 
     def __repr__(self) -> str:
         return f"<Timeout delay={self.delay!r} at {id(self):#x}>"
+
+    def __reduce__(self) -> Any:
+        if type(self) is not Timeout:
+            raise TypeError(
+                f"cannot pickle {type(self).__name__} via Timeout.__reduce__"
+            )
+        return (
+            _new_instance,
+            (Timeout,),
+            (self.env, self.callbacks, self._value, self._ok,
+             self._processed, self._defused, self.delay),
+        )
+
+    def __setstate__(self, state: Any) -> None:
+        (self.env, self.callbacks, self._value, self._ok,
+         self._processed, self._defused, self.delay) = state
 
 
 @final
@@ -324,6 +378,22 @@ class _Sleep(Timeout):
     def __repr__(self) -> str:
         return f"<_Sleep delay={self.delay!r} at {id(self):#x}>"
 
+    def __reduce__(self) -> Any:
+        return (
+            _new_instance,
+            (_Sleep,),
+            (self.env, self.delay, self.callback,
+             self._processed, self._defused),
+        )
+
+    def __setstate__(self, state: Any) -> None:
+        (self.env, self.delay, self.callback,
+         self._processed, self._defused) = state
+        # Fixed for the object's whole lifetime (see __init__).
+        self.callbacks = None
+        self._value = None
+        self._ok = True
+
 
 @final
 class _Call:
@@ -359,6 +429,19 @@ class _Call:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<_Call {self.callback!r} at {id(self):#x}>"
+
+    def __reduce__(self) -> Any:
+        # State form even though _Call has no env backref: the callback
+        # is usually a bound method of an object that (transitively)
+        # holds this very event, so the graph can still be cyclic.
+        return (
+            _new_instance,
+            (_Call,),
+            (self.callback, self._value, self._ok, self._defused),
+        )
+
+    def __setstate__(self, state: Any) -> None:
+        self.callback, self._value, self._ok, self._defused = state
 
 
 @final
@@ -515,6 +598,41 @@ class Environment:
             return self._now
         queue = self._queue
         return queue[0][0] if queue else _INF
+
+    def _seq_peek(self) -> int:
+        """The next heap sequence number, without consuming it.
+
+        ``count.__next__`` cannot be read non-destructively, so this
+        draws the number and rebinds a fresh counter starting at the
+        same value -- the following real ``_next_seq()`` call yields
+        exactly this number again.  Used by checkpointing (progress
+        triggers, and snapshotting the counter position).
+        """
+        seq = self._next_seq()
+        self._next_seq = count(seq).__next__
+        return seq
+
+    # -- pickling (checkpoint/resume) ------------------------------------
+
+    def __reduce__(self) -> Any:
+        # _active_process is only non-None while a Process is executing;
+        # snapshots are taken between events, and processes are not
+        # checkpointable anyway, so it is deliberately not captured.
+        return (
+            _new_instance,
+            (Environment,),
+            (self._now, self._seq_peek(), list(self._queue),
+             list(self._urgent), list(self._sleep_pool)),
+        )
+
+    def __setstate__(self, state: Any) -> None:
+        now, seq, queue, urgent, pool = state
+        self._now = now
+        self._queue = queue
+        self._next_seq = count(seq).__next__
+        self._urgent = deque(urgent)
+        self._active_process = None
+        self._sleep_pool = pool
 
     def step(self) -> None:
         """Process the single next event.

@@ -481,31 +481,55 @@ class MMPP2Interarrival(Distribution):
         )
 
     def bind(self, stream: random.Random):
-        expovariate = stream.expovariate
-        rates = self.arrival_rates
-        sojourns = self.sojourn_means
-        state = 0  # start calm: deterministic, reproducible initial phase
-
-        def draw() -> float:
-            # Competing exponentials: within the current state the next
-            # arrival races the next state switch; memorylessness lets us
-            # redraw both after each switch.
-            nonlocal state
-            gap = 0.0
-            while True:
-                to_arrival = expovariate(rates[state])
-                to_switch = expovariate(1.0 / sojourns[state])
-                if to_arrival <= to_switch:
-                    return gap + to_arrival
-                gap += to_switch
-                state = 1 - state
-
-        return draw
+        return _MMPP2Sampler(stream, self.arrival_rates, self.sojourn_means)
 
     @property
     def mean(self) -> float:
         """Long-run mean interarrival time."""
         return self.mean_value
+
+
+class _MMPP2Sampler:
+    """Bound, stateful MMPP(2) interarrival sampler.
+
+    A callable object rather than a closure so that checkpointing can
+    pickle it: the modulating chain's current state must survive a
+    snapshot bit for bit (rebinding would reset the chain to calm).  All
+    randomness lives in the bound stream, which pickles with its full
+    Mersenne state.
+    """
+
+    __slots__ = ("stream", "rates", "sojourns", "state")
+
+    def __init__(self, stream: random.Random, rates: tuple, sojourns: tuple):
+        self.stream = stream
+        self.rates = rates
+        self.sojourns = sojourns
+        self.state = 0  # start calm: deterministic, reproducible phase
+
+    def __call__(self) -> float:
+        # Competing exponentials: within the current state the next
+        # arrival races the next state switch; memorylessness lets us
+        # redraw both after each switch.
+        expovariate = self.stream.expovariate
+        rates = self.rates
+        sojourns = self.sojourns
+        state = self.state
+        gap = 0.0
+        while True:
+            to_arrival = expovariate(rates[state])
+            to_switch = expovariate(1.0 / sojourns[state])
+            if to_arrival <= to_switch:
+                self.state = state
+                return gap + to_arrival
+            gap += to_switch
+            state = 1 - state
+
+    def __getstate__(self) -> tuple:
+        return (self.stream, self.rates, self.sojourns, self.state)
+
+    def __setstate__(self, state: tuple) -> None:
+        self.stream, self.rates, self.sojourns, self.state = state
 
 
 def exponential_interarrival(rate: float) -> Exponential:

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import hashlib
 import random
-from typing import Dict, Iterator
+from typing import Any, Dict, Iterator
 
 
 class StreamFactory:
@@ -37,6 +37,7 @@ class StreamFactory:
     def __init__(self, seed: int = 0) -> None:
         self.seed = int(seed)
         self._streams: Dict[str, random.Random] = {}
+        self._children: Dict[str, "StreamFactory"] = {}
 
     def get(self, name: str) -> random.Random:
         """Return the stream for ``name``, creating it on first use."""
@@ -47,12 +48,19 @@ class StreamFactory:
         return stream
 
     def spawn(self, name: str) -> "StreamFactory":
-        """Create a sub-factory whose streams are namespaced under ``name``.
+        """Return the sub-factory namespaced under ``name``.
 
         Useful for replications: ``factory.spawn(f"rep-{i}")`` gives each
-        replication its own independent universe of named streams.
+        replication its own independent universe of named streams.  The
+        sub-factory is cached, so repeated spawns of the same name return
+        the same object -- which lets :meth:`getstate` cover the whole
+        factory tree.
         """
-        return StreamFactory(self._derive_seed(name))
+        child = self._children.get(name)
+        if child is None:
+            child = StreamFactory(self._derive_seed(name))
+            self._children[name] = child
+        return child
 
     def _derive_seed(self, name: str) -> int:
         digest = hashlib.sha256(f"{self.seed}\x1f{name}".encode()).digest()
@@ -61,6 +69,44 @@ class StreamFactory:
     def names(self) -> Iterator[str]:
         """Names of all streams created so far (for diagnostics)."""
         return iter(self._streams)
+
+    # -- state snapshot (checkpoint/resume) ------------------------------
+
+    def getstate(self) -> Dict[str, Any]:
+        """Snapshot every stream's generator state, in creation order.
+
+        Covers all streams created so far plus every :meth:`spawn`'d
+        sub-factory (recursively).  The result round-trips through
+        :meth:`setstate` and is picklable.
+        """
+        return {
+            "seed": self.seed,
+            "streams": [
+                (name, stream.getstate())
+                for name, stream in self._streams.items()
+            ],
+            "children": [
+                (name, child.getstate())
+                for name, child in self._children.items()
+            ],
+        }
+
+    def setstate(self, state: Dict[str, Any]) -> None:
+        """Restore a :meth:`getstate` snapshot.
+
+        Streams are matched by name (missing ones are created), so the
+        restore does not depend on this factory having created its
+        streams in the same order as the snapshotted one.
+        """
+        if state["seed"] != self.seed:
+            raise ValueError(
+                f"stream state was captured under seed {state['seed']}, "
+                f"cannot restore into a factory seeded {self.seed}"
+            )
+        for name, stream_state in state["streams"]:
+            self.get(name).setstate(stream_state)
+        for name, child_state in state["children"]:
+            self.spawn(name).setstate(child_state)
 
     def __repr__(self) -> str:
         return f"StreamFactory(seed={self.seed}, streams={len(self._streams)})"

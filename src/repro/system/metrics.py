@@ -15,8 +15,8 @@ the window grows.)
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, List, Optional
 
 from ..core.task import TaskClass
 from ..sim.monitor import MeanTally, TimeWeighted
@@ -50,6 +50,13 @@ class ClassStats:
             return float("nan")
         return self.missed / total
 
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ClassStats":
+        return cls(**data)
+
 
 @dataclass(frozen=True)
 class NodeStats:
@@ -72,6 +79,13 @@ class NodeStats:
     #: Fraction of the measured window this node spent down (time-weighted
     #: mean of the 0/1 down signal; 0.0 in fault-free runs).
     downtime: float = 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "NodeStats":
+        return cls(**data)
 
 
 @dataclass(frozen=True)
@@ -157,6 +171,39 @@ class RunResult:
     def total_lost(self) -> int:
         """Crash-discarded work units across all nodes in the window."""
         return sum(n.lost for n in self.per_node)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable form; exact inverse of :meth:`from_dict`.
+
+        Floats survive a ``json.dumps``/``loads`` round-trip bit for bit
+        (``repr`` round-trips doubles, and ``nan`` is emitted as the
+        ``NaN`` literal), so a journaled result equals the original.
+        """
+        return {
+            "sim_time": self.sim_time,
+            "warmup": self.warmup,
+            "per_class": {
+                name: stats.to_dict()
+                for name, stats in self.per_class.items()
+            },
+            "per_node": [stats.to_dict() for stats in self.per_node],
+            "retries": self.retries,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "RunResult":
+        return cls(
+            sim_time=data["sim_time"],
+            warmup=data["warmup"],
+            per_class={
+                name: ClassStats.from_dict(stats)
+                for name, stats in data["per_class"].items()
+            },
+            per_node=[
+                NodeStats.from_dict(stats) for stats in data["per_node"]
+            ],
+            retries=data["retries"],
+        )
 
 
 class _ClassAccumulator:

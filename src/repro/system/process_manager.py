@@ -339,6 +339,11 @@ class _FailedResult:
     timing = _Timing()
     lost = True
 
+    def __reduce__(self) -> str:
+        # Pickle by global reference so a restored checkpoint keeps the
+        # singleton (frames only read attributes, but exactness is free).
+        return "_FAILED"
+
 
 _FAILED = _FailedResult()
 

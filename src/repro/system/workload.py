@@ -31,9 +31,10 @@ The SDA strategies, in contrast, only ever see ``pex``.
 
 from __future__ import annotations
 
+import types
 from bisect import bisect_right
 from heapq import heappush
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.estimators import Estimator, PerfectEstimator
 from ..core.strategies.base import PriorityClass
@@ -55,6 +56,45 @@ from .work import WorkUnit, _unit_counter
 
 _LOCAL = TaskClass.LOCAL
 _PRIORITY_NORMAL = PriorityClass.NORMAL
+
+
+class _RebindSamplers:
+    """Pickle support for classes holding ``Distribution.bind`` samplers.
+
+    Stateless ``bind()`` closures cannot pickle; they are dropped from
+    the snapshot and rebuilt from their ``(distribution, stream)`` pair
+    at restore -- bit-identical, since every draw depends only on the
+    stream's (pickled) generator state.  Stateful samplers (MMPP2) are
+    picklable callable objects and pass through unchanged.
+    """
+
+    __slots__ = ()
+
+    #: sampler attribute -> (distribution attribute, stream attribute)
+    _samplers: Dict[str, Tuple[str, str]] = {}
+
+    def __getstate__(self) -> Dict[str, object]:
+        if hasattr(self, "__dict__"):
+            state = dict(self.__dict__)
+        else:
+            state = {
+                name: getattr(self, name) for name in type(self).__slots__
+            }
+        for field in self._samplers:
+            if isinstance(state.get(field), types.FunctionType):
+                state[field] = None
+        return state
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        for name, value in state.items():
+            setattr(self, name, value)
+        for field, (dist_name, stream_name) in self._samplers.items():
+            if getattr(self, field) is None:
+                setattr(
+                    self,
+                    field,
+                    getattr(self, dist_name).bind(getattr(self, stream_name)),
+                )
 
 
 class PiecewiseProfile:
@@ -100,7 +140,7 @@ class PiecewiseProfile:
         return multipliers[index]
 
 
-class LocalTaskSource:
+class LocalTaskSource(_RebindSamplers):
     """Poisson source of local tasks at one node.
 
     Implemented as a self-rescheduling timeout callback rather than a
@@ -109,6 +149,12 @@ class LocalTaskSource:
     happen in the same per-stream order as the process version, so fixed
     seeds keep producing identical workloads.
     """
+
+    _samplers = {
+        "_next_interarrival": ("interarrival", "_arrival_stream"),
+        "_next_execution": ("execution", "_execution_stream"),
+        "_next_slack": ("slack", "_slack_stream"),
+    }
 
     __slots__ = (
         "env",
@@ -269,7 +315,7 @@ class LocalTaskSource:
             env._sleep(gap, self._on_arrive)
 
 
-class GlobalTaskFactory:
+class GlobalTaskFactory(_RebindSamplers):
     """Builds one global task instance (tree + end-to-end deadline)."""
 
     #: Expected number of simple subtasks per task (load arithmetic).
@@ -289,6 +335,12 @@ class SerialChainFactory(GlobalTaskFactory):
     replacement -- consecutive stages may land on the same node, as in the
     paper.
     """
+
+    _samplers = {
+        "_next_count": ("count", "_count_stream"),
+        "_next_execution": ("execution", "_execution_stream"),
+        "_next_slack": ("slack", "_slack_stream"),
+    }
 
     def __init__(
         self,
@@ -349,6 +401,11 @@ class ParallelFanFactory(GlobalTaskFactory):
     replacement), so ``m <= k`` is required.  The deadline follows the
     paper's eq. (2): ``dl = max_i ex(Ti) + slack + ar``.
     """
+
+    _samplers = {
+        "_next_execution": ("execution", "_execution_stream"),
+        "_next_slack": ("slack", "_slack_stream"),
+    }
 
     def __init__(
         self,
@@ -416,6 +473,11 @@ class SerialParallelFactory(GlobalTaskFactory):
     envelope) plus slack.
     """
 
+    _samplers = {
+        "_next_execution": ("execution", "_execution_stream"),
+        "_next_slack": ("slack", "_slack_stream"),
+    }
+
     def __init__(
         self,
         node_count: int,
@@ -482,7 +544,7 @@ class SerialParallelFactory(GlobalTaskFactory):
         return tree, deadline
 
 
-class GlobalTaskSource:
+class GlobalTaskSource(_RebindSamplers):
     """Single Poisson stream of global tasks feeding the process manager.
 
     Like :class:`LocalTaskSource`, a self-rescheduling timeout callback.
@@ -491,6 +553,10 @@ class GlobalTaskSource:
     the source never joins on a task's outcome, so the per-task outcome
     event is skipped entirely.
     """
+
+    _samplers = {
+        "_next_interarrival": ("interarrival", "_arrival_stream"),
+    }
 
     __slots__ = (
         "env",

@@ -101,11 +101,19 @@ class TestWorkerDeathResilience:
         expected = [_REAL_BATCH(batch) for batch in batches]
         kill_switch(2)
         with pytest.warns(RuntimeWarning) as record:
-            survived = runner._run_batches_resilient(batches, processes=1)
+            survived, recovered = runner._run_batches_resilient(
+                batches, processes=1
+            )
         messages = [str(w.message) for w in record]
         assert any("sweep worker died" in m for m in messages)
         assert any("broke twice" in m for m in messages)
         assert survived == expected
+        # Every fallback-touched run is surfaced with its identity.
+        assert recovered
+        assert {cell.mode for cell in recovered} <= {
+            "resubmitted", "in-process"
+        }
+        assert all(f"seed={cell.seed}" in cell.description for cell in recovered)
 
     def test_no_kill_is_warning_free(self, kill_switch):
         """The patched pool path without any kill must stay silent and

@@ -456,6 +456,134 @@ class TestGoldenAcrossKernels:
         assert values["node0_utilization"] == 0.5153333521237488
 
 
+def _checkpoint_at(config, stop_time: float, path: str):
+    """Advance a fresh :class:`Simulation` to ``stop_time`` and snapshot it.
+
+    Mirrors ``Simulation.run`` exactly (warmup, metrics reset, then the
+    measured phase); stopping early is determinism-free because the
+    run-horizon sentinel consumes no sequence number, so
+    ``run(until=a); run(until=b)`` is bit-identical to ``run(until=b)``.
+    """
+    from repro.checkpoint import save_checkpoint
+    from repro.system.simulation import Simulation
+
+    sim = Simulation(config)
+    if config.warmup_time > 0:
+        sim.env.run(until=config.warmup_time)
+        sim.metrics.reset(sim.env.now)
+    sim._warmup_done = True
+    sim.env.run(until=stop_time)
+    save_checkpoint(sim, path)
+
+
+#: Driver for the kernel legs: checkpoint mid-run, restore, finish, and
+#: compare against the straight-through run *in the same interpreter* --
+#: no pinned literals, and the module-level counters trivially align.
+_KERNEL_CHECKPOINT_DRIVER = """
+import json, os, sys, tempfile
+from repro.sim.core import KERNEL
+from repro.checkpoint import load_checkpoint, save_checkpoint
+from repro.system.config import baseline_config
+from repro.system.simulation import Simulation, simulate
+
+config = baseline_config(sim_time=2_500.0, warmup_time=250.0, seed=42)
+straight = simulate(config)
+path = os.path.join(tempfile.mkdtemp(), "golden.ckpt")
+sim = Simulation(config)
+sim.env.run(until=config.warmup_time)
+sim.metrics.reset(sim.env.now)
+sim._warmup_done = True
+sim.env.run(until=1_200.0)
+save_checkpoint(sim, path)
+resumed = load_checkpoint(path).run()
+print(json.dumps({"kernel": KERNEL, "identical": resumed == straight}))
+"""
+
+
+class TestCheckpointResumeGolden:
+    """Checkpoint/resume must be invisible to the golden pins.
+
+    Nothing here pins a new literal: every check compares a
+    checkpoint-interrupted run against the corresponding *existing*
+    fixture or straight-through run, so a drift anywhere in the snapshot
+    path (engine heap, RNG states, metrics tallies, fault clocks) fails
+    against the same values the rest of this file protects.
+    """
+
+    def test_serial_resume_is_bit_identical(self, serial_result, tmp_path):
+        path = str(tmp_path / "serial.ckpt")
+        config = baseline_config(
+            sim_time=SIM_TIME, warmup_time=WARMUP, seed=42
+        )
+        _checkpoint_at(config, 1_200.0, path)
+        from repro.checkpoint import load_checkpoint
+
+        assert load_checkpoint(path).run() == serial_result
+
+    def test_traced_resume_is_bit_identical(self, serial_result, tmp_path):
+        """Trace on, checkpoint mid-run, resume: still equal to the
+        untraced uninterrupted run (tracing stays observation-only
+        through a snapshot cycle)."""
+        path = str(tmp_path / "traced.ckpt")
+        config = baseline_config(
+            sim_time=SIM_TIME, warmup_time=WARMUP, seed=42, trace=True
+        )
+        _checkpoint_at(config, 1_200.0, path)
+        from repro.checkpoint import load_checkpoint
+
+        assert load_checkpoint(path).run() == serial_result
+
+    def test_fault_scenario_resume_is_bit_identical(self, tmp_path):
+        """The fault path (crash clocks, retry stream, live set) must
+        survive the snapshot too."""
+        from repro.checkpoint import load_checkpoint
+        from repro.scenarios import get_scenario
+
+        config = get_scenario("steady-churn").to_config(
+            sim_time=SIM_TIME, warmup_time=WARMUP, seed=17, strategy="EQF",
+        )
+        straight = simulate(config)
+        path = str(tmp_path / "churn.ckpt")
+        _checkpoint_at(config, 1_200.0, path)
+        assert load_checkpoint(path).run() == straight
+
+    def test_periodic_checkpointing_is_invisible(
+        self, serial_result, tmp_path
+    ):
+        """A run under an every-N-events policy returns the exact plain
+        result, and resuming its last snapshot finishes identically."""
+        from repro.checkpoint import CheckpointPolicy, load_checkpoint
+        from repro.system.simulation import Simulation
+
+        path = str(tmp_path / "periodic.ckpt")
+        config = baseline_config(
+            sim_time=SIM_TIME, warmup_time=WARMUP, seed=42
+        )
+        policy = CheckpointPolicy(path=path, every_events=5_000)
+        assert Simulation(config).run(checkpoint=policy) == serial_result
+        assert os.path.exists(path)
+        assert load_checkpoint(path).run() == serial_result
+
+    @pytest.mark.parametrize("kernel", ["python", "compiled"])
+    def test_resume_bit_identical_under_kernel(self, kernel, tmp_path):
+        if kernel == "compiled" and not _compiled_kernel_available():
+            pytest.skip("compiled kernel extension not built")
+        env = dict(os.environ, REPRO_KERNEL=kernel)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (
+                os.path.join(os.path.dirname(__file__), "..", "..", "src"),
+                env.get("PYTHONPATH", ""),
+            ) if p
+        )
+        output = subprocess.run(
+            [sys.executable, "-c", _KERNEL_CHECKPOINT_DRIVER],
+            env=env, capture_output=True, text=True, check=True,
+        ).stdout
+        values = json.loads(output)
+        assert values["kernel"] == kernel
+        assert values["identical"] is True
+
+
 class TestTracingIsObservationOnly:
     """Tracing must never perturb the simulation it observes.
 

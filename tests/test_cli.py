@@ -162,3 +162,72 @@ class TestScenarios:
             "--strategies", "BOGUS", "UD",
         ]) == 2
         assert "unknown strategy" in capsys.readouterr().err
+
+
+class TestSimulateCheckpointFlags:
+    def test_checkpoint_and_resume_print_identical_tables(
+        self, capsys, tmp_path
+    ):
+        path = str(tmp_path / "run.ckpt")
+        base = [
+            "simulate", "--strategy", "EQF",
+            "--sim-time", "600", "--warmup", "60", "--seed", "42",
+        ]
+        assert main(base) == 0
+        plain = capsys.readouterr().out
+        assert main(
+            base + ["--checkpoint", path, "--checkpoint-events", "500"]
+        ) == 0
+        assert capsys.readouterr().out == plain
+        import os as _os
+
+        assert _os.path.exists(path)
+        assert main(["simulate", "--resume", path]) == 0
+        captured = capsys.readouterr()
+        assert captured.out == plain
+        assert "resumed from" in captured.err
+
+    def test_trigger_flags_without_path_fail_cleanly(self, capsys):
+        assert main(["simulate", "--checkpoint-events", "10"]) == 2
+        assert "--checkpoint PATH" in capsys.readouterr().err
+
+    def test_resume_from_junk_fails_cleanly(self, capsys, tmp_path):
+        bogus = tmp_path / "bogus.ckpt"
+        bogus.write_bytes(b"junk")
+        assert main(["simulate", "--resume", str(bogus)]) == 2
+        assert "not a repro checkpoint" in capsys.readouterr().err
+
+    def test_resume_from_missing_file_fails_cleanly(self, capsys, tmp_path):
+        assert main(
+            ["simulate", "--resume", str(tmp_path / "absent.ckpt")]
+        ) == 2
+        assert "no such checkpoint file" in capsys.readouterr().err
+
+
+class TestSweepJournalFlags:
+    _BASE = [
+        "scenarios", "sweep", "--scenario", "baseline",
+        "--strategies", "UD", "EQF", "--scale", "smoke", "--seed", "17",
+    ]
+
+    def test_journal_path_echoed_and_rerun_identical(self, capsys, tmp_path):
+        journal = str(tmp_path / "sweep.json")
+        assert main(self._BASE + ["--journal", journal]) == 0
+        first = capsys.readouterr()
+        import os as _os
+
+        assert f"journal: {_os.path.abspath(journal)}" in first.err
+        assert _os.path.exists(journal)
+
+        assert main(self._BASE + ["--journal", journal]) == 0
+        second = capsys.readouterr()
+        assert second.out == first.out  # byte-identical report
+        assert "restored 2 completed run(s)" in second.err
+
+    def test_foreign_journal_fails_cleanly(self, capsys, tmp_path):
+        journal = str(tmp_path / "sweep.json")
+        assert main(self._BASE + ["--journal", journal]) == 0
+        capsys.readouterr()
+        other = self._BASE[:-1] + ["18", "--journal", journal]
+        assert main(other) == 2
+        assert "different sweep" in capsys.readouterr().err
