@@ -34,6 +34,12 @@ BENCH_PREEMPTIVE_JSON = Path(__file__).parent.parent / "BENCH_preemptive.json"
 #: ``REPRO_KERNEL=compiled`` lands next to the pure-Python numbers.
 BENCH_CORE_JSON = Path(__file__).parent.parent / "BENCH_core.json"
 
+#: Machine-readable record of the observability benchmarks
+#: (``bench_obs.py``): sketch/window microbenchmarks plus the recorded
+#: A/B of the instrumented metrics path against the pre-observability
+#: tree; same contract as ``BENCH_kernel.json``.
+BENCH_OBS_JSON = Path(__file__).parent.parent / "BENCH_obs.json"
+
 
 def save_artifact(name: str, text: str) -> Path:
     """Write a rendered table/chart to ``benchmarks/results/<name>.txt``."""
@@ -103,6 +109,11 @@ def record_core_bench(name: str, benchmark) -> Path | None:
     from repro.sim.core import KERNEL
 
     return record_bench(BENCH_CORE_JSON, f"{KERNEL}/{name}", benchmark)
+
+
+def record_obs_bench(name: str, benchmark) -> Path | None:
+    """Record one observability microbenchmark into ``BENCH_obs.json``."""
+    return record_bench(BENCH_OBS_JSON, name, benchmark)
 
 
 def series_end(figure, strategy: str, metric: str = "global") -> float:

@@ -36,12 +36,13 @@ from __future__ import annotations
 
 import io
 import itertools
+import json
 import os
 import pickle
 import tempfile
 import time
 from dataclasses import dataclass
-from typing import Any, Dict, Tuple
+from typing import Any, Dict, List, Tuple
 
 from .sim.core import KERNEL
 
@@ -83,6 +84,83 @@ def atomic_write(path: Any, data: bytes) -> None:
         except OSError:
             pass
         raise
+
+
+class JsonlAppender:
+    """Crash-tolerant grow-only JSONL channel (one flushed line per record).
+
+    The sibling of :func:`atomic_write` for files that *grow*: a metric
+    time series or a streaming trace cannot be rewritten whole on every
+    record.  Instead each record is one ``json.dumps`` line, written and
+    flushed immediately, so a crash tears at most the trailing line --
+    which :func:`read_jsonl` tolerates by stopping at the first
+    unparsable tail.  Floats round-trip exactly (``repr`` doubles, and
+    ``nan`` as the bare ``NaN`` literal the stdlib parser accepts).
+
+    Picklable: only the path and mode travel; restoring reopens the file
+    in append mode, so a sink buried in a checkpointed object graph
+    (e.g. a :class:`~repro.system.tracing.JsonlTraceSink`) resumes
+    appending where the file left off.
+    """
+
+    def __init__(self, path: Any, append: bool = False) -> None:
+        self.path = os.fspath(path)
+        self._handle = open(self.path, "a" if append else "w", encoding="utf-8")
+        self.written = 0
+
+    def write(self, record: Dict[str, Any]) -> None:
+        """Append one record as a single flushed JSON line."""
+        handle = self._handle
+        if handle is None:
+            raise ValueError(f"{self.path}: appender is closed")
+        handle.write(json.dumps(record, separators=(",", ":")) + "\n")
+        handle.flush()
+        self.written += 1
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __getstate__(self) -> Dict[str, Any]:
+        return {"path": self.path, "written": self.written}
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        self.path = state["path"]
+        self.written = state["written"]
+        self._handle = open(self.path, "a", encoding="utf-8")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        status = "closed" if self._handle is None else "open"
+        return f"JsonlAppender({self.path!r}, {status}, written={self.written})"
+
+
+def read_jsonl(path: Any) -> List[Dict[str, Any]]:
+    """Read a :class:`JsonlAppender` file, tolerating a torn final line.
+
+    A process killed mid-:meth:`~JsonlAppender.write` leaves at most one
+    partial trailing line; parsing stops there and everything before it
+    is returned.  (An unparsable line anywhere *else* means real
+    corruption and raises.)
+    """
+    path = os.fspath(path)
+    records: List[Dict[str, Any]] = []
+    pending_error = None
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            if pending_error is not None:
+                raise CheckpointError(
+                    f"{path}: corrupt JSONL line before end of file "
+                    f"({pending_error})"
+                )
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except ValueError as exc:
+                pending_error = exc  # torn tail if nothing follows
+    return records
 
 
 @dataclass(frozen=True)

@@ -11,8 +11,12 @@ Usage::
     repro-experiments simulate --strategy EQF --load 0.5 --structure serial
     repro-experiments simulate --strategy EQF --checkpoint run.ckpt
     repro-experiments simulate --resume run.ckpt
+    repro-experiments simulate --metrics-out run.metrics.jsonl
+    repro-experiments metrics tail run.metrics.jsonl
+    repro-experiments metrics summarize run.metrics.jsonl
     repro-experiments scenarios list
     repro-experiments scenarios run bursty-mmpp --strategy EQF --seed 7
+    repro-experiments scenarios run bursty-mmpp --metrics-out rep0.jsonl
     repro-experiments scenarios sweep --scale quick --workers 0
     repro-experiments scenarios sweep --scale smoke --journal sweep.json
 
@@ -26,6 +30,7 @@ verbatim.
 from __future__ import annotations
 
 import argparse
+import math
 import os
 import sys
 from typing import Optional, Sequence
@@ -53,7 +58,13 @@ from .system.config import (
     baseline_config,
     verify_load_arithmetic,
 )
-from .system.simulation import Simulation
+from .system.emission import (
+    EmissionPolicy,
+    read_metrics_series,
+    render_series_tail,
+    summarize_series,
+)
+from .system.simulation import Simulation, simulate as run_simulation
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -66,6 +77,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "run": _cmd_run,
         "simulate": _cmd_simulate,
         "scenarios": _cmd_scenarios,
+        "metrics": _cmd_metrics,
     }[args.command]
     return handler(args)
 
@@ -167,6 +179,57 @@ def _build_parser() -> argparse.ArgumentParser:
             "carries its own)"
         ),
     )
+    simulate.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help=(
+            "emit a JSONL metric time series to this file while the run "
+            "progresses (interval records plus a final record equal to "
+            "the printed result; render with 'metrics tail/summarize')"
+        ),
+    )
+    simulate.add_argument(
+        "--metrics-every-events",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "emit an interval record every N simulation events (with "
+            "--metrics-out; default 100000 when no other trigger is given)"
+        ),
+    )
+    simulate.add_argument(
+        "--metrics-every-seconds",
+        type=float,
+        default=0.0,
+        metavar="T",
+        help=(
+            "emit an interval record every T wall-clock seconds (with "
+            "--metrics-out)"
+        ),
+    )
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="render a JSONL metric series written by --metrics-out",
+    )
+    metrics_sub = metrics.add_subparsers(dest="metrics_command", required=True)
+    metrics_tail = metrics_sub.add_parser(
+        "tail", help="tabulate the latest interval records of a series"
+    )
+    metrics_tail.add_argument("path", help="series file from --metrics-out")
+    metrics_tail.add_argument(
+        "--last",
+        type=int,
+        default=10,
+        metavar="N",
+        help="rows to show, newest last (default: 10; 0 = all)",
+    )
+    metrics_summarize = metrics_sub.add_parser(
+        "summarize", help="one-paragraph summary of a series"
+    )
+    metrics_summarize.add_argument("path", help="series file from --metrics-out")
 
     scenarios = sub.add_parser(
         "scenarios",
@@ -183,6 +246,16 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     scenario_run.add_argument("scenario", help="scenario name from 'scenarios list'")
     scenario_run.add_argument("--strategy", default="UD")
+    scenario_run.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help=(
+            "emit the first replication's JSONL metric series to this "
+            "file (replications then run serially in-process; not "
+            "compatible with --journal)"
+        ),
+    )
     _add_grid_arguments(scenario_run)
 
     scenario_sweep = scenarios_sub.add_parser(
@@ -322,9 +395,36 @@ def _checkpoint_policy(args: argparse.Namespace) -> Optional[CheckpointPolicy]:
     )
 
 
+#: Default event interval between emitted records when --metrics-out is
+#: given without an explicit trigger (event-based, so the record count
+#: is reproducible run to run).
+_DEFAULT_METRICS_EVENTS = 100_000
+
+
+def _emission_policy(args: argparse.Namespace) -> Optional[EmissionPolicy]:
+    """Build the ``--metrics-out`` policy, defaulting to an event trigger."""
+    if args.metrics_out is None:
+        if args.metrics_every_events or args.metrics_every_seconds:
+            raise ValueError(
+                "--metrics-every-events/--metrics-every-seconds need "
+                "--metrics-out PATH to write to"
+            )
+        return None
+    every_events = args.metrics_every_events
+    every_seconds = args.metrics_every_seconds
+    if not every_events and not every_seconds:
+        every_events = _DEFAULT_METRICS_EVENTS
+    return EmissionPolicy(
+        path=args.metrics_out,
+        every_events=every_events,
+        every_seconds=every_seconds,
+    )
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
     try:
         policy = _checkpoint_policy(args)
+        emit = _emission_policy(args)
         if args.resume is not None:
             simulation = load_checkpoint(args.resume)
             print(
@@ -354,17 +454,37 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             warmup_time=args.warmup,
             seed=args.seed,
         ))
-    result = simulation.run(checkpoint=policy)
+    result = simulation.run(checkpoint=policy, emit=emit)
     config = simulation.config
     rows = [
         ["MD_local", format_percent(result.md_local)],
         ["MD_global", format_percent(result.md_global)],
+        ["global p99 response", f"{result.global_.p99_response:.3f}"],
+        ["global p99 lateness", f"{result.global_.p99_lateness:.3f}"],
         ["mean node utilization", f"{result.mean_utilization:.3f}"],
         ["local tasks finished", result.local.completed],
         ["global tasks finished", result.global_.completed],
     ]
     print(render_table(["metric", "value"], rows, title=config.describe()))
     print(f"resolved seed: {config.seed}")
+    if emit is not None:
+        print(f"metrics series: {emit.path}", file=sys.stderr)
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    try:
+        records = read_metrics_series(args.path)
+    except FileNotFoundError:
+        print(f"error: {args.path}: no such metrics series", file=sys.stderr)
+        return 2
+    except CheckpointError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.metrics_command == "tail":
+        print(render_series_tail(records, last=args.last))
+    else:
+        print(summarize_series(records))
     return 0
 
 
@@ -420,16 +540,28 @@ def _cmd_scenarios_run(args: argparse.Namespace) -> int:
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    try:
-        estimate = run_scenario(
-            spec,
-            strategy=args.strategy,
-            scale=scale,
-            seed=args.seed,
-            workers=workers,
-            batch_size=args.batch_size,
-            journal=args.journal,
+    if args.metrics_out is not None and args.journal is not None:
+        print(
+            "error: --metrics-out runs replications in-process and does "
+            "not support --journal",
+            file=sys.stderr,
         )
+        return 2
+    try:
+        if args.metrics_out is not None:
+            estimate = _run_scenario_with_metrics(
+                spec, args.strategy, scale, args.seed, args.metrics_out
+            )
+        else:
+            estimate = run_scenario(
+                spec,
+                strategy=args.strategy,
+                scale=scale,
+                seed=args.seed,
+                workers=workers,
+                batch_size=args.batch_size,
+                journal=args.journal,
+            )
     except JournalError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -437,6 +569,10 @@ def _cmd_scenarios_run(args: argparse.Namespace) -> int:
         ["MD_global", format_percent(estimate.md_global.mean)],
         ["MD_local", format_percent(estimate.md_local.mean)],
         ["gap (global - local)", format_percent(estimate.gap)],
+        ["global p99 lateness", (
+            "-" if math.isnan(estimate.p99_late)
+            else f"{estimate.p99_late:.3f}"
+        )],
         ["mean node utilization", f"{estimate.utilization:.3f}"],
         ["local tasks finished", estimate.local_completed],
         ["global tasks finished", estimate.global_completed],
@@ -451,7 +587,37 @@ def _cmd_scenarios_run(args: argparse.Namespace) -> int:
         ),
     ))
     print(f"resolved seed: {args.seed}")
+    if args.metrics_out is not None:
+        print(f"metrics series: {args.metrics_out}", file=sys.stderr)
     return 0
+
+
+def _run_scenario_with_metrics(spec, strategy, scale, seed, metrics_out):
+    """``scenarios run --metrics-out``: replications serially, rep 0 emits.
+
+    Uses the same per-replication seeds as
+    :func:`~repro.experiments.runner.replicate` (``seed * 10_000 + i``)
+    and the same aggregation, so the printed estimate is identical to
+    the pooled path -- only the first replication additionally writes
+    its series (emission is determinism-invisible, so that run's
+    result is unchanged too).
+    """
+    from .experiments.runner import _aggregate, _replication_configs
+
+    config = scale.apply(spec.to_config(strategy=strategy, seed=seed))
+    results = []
+    for i, rep_config in enumerate(
+        _replication_configs(config, scale.replications)
+    ):
+        emit = (
+            EmissionPolicy(
+                path=metrics_out, every_events=_DEFAULT_METRICS_EVENTS
+            )
+            if i == 0
+            else None
+        )
+        results.append(run_simulation(rep_config, emit=emit))
+    return _aggregate(config, results, level=0.95)
 
 
 def _cmd_scenarios_sweep(args: argparse.Namespace) -> int:

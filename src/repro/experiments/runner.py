@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import math
 import multiprocessing
 import os
 import warnings
@@ -140,6 +141,11 @@ class PointEstimate:
     #: Total retry resubmissions across replications (0 unless a
     #: retry-enabled fault spec is configured).
     retries: int = 0
+    #: Mean (over replications) of the global-class p99 lateness -- the
+    #: tail the paper's mean-based measures hide.  ``nan`` when no
+    #: replication completed a global task (P^2 sketches do not merge,
+    #: so replications are averaged, not pooled).
+    p99_late: float = math.nan
 
     @property
     def gap(self) -> float:
@@ -173,6 +179,7 @@ def _aggregate(
     crashes = 0
     lost = 0
     retries = 0
+    p99_lates: List[float] = []
     for result in results:
         md_locals.append(result.md_local)
         md_globals.append(result.md_global)
@@ -183,6 +190,9 @@ def _aggregate(
         crashes += result.total_crashes
         lost += result.total_lost
         retries += result.retries
+        p99 = result.global_.p99_lateness
+        if not math.isnan(p99):
+            p99_lates.append(p99)
     return PointEstimate(
         config=config,
         md_local=interval_from_samples(md_locals, level),
@@ -194,6 +204,9 @@ def _aggregate(
         crashes=crashes,
         lost=lost,
         retries=retries,
+        p99_late=(
+            sum(p99_lates) / len(p99_lates) if p99_lates else math.nan
+        ),
     )
 
 

@@ -97,15 +97,19 @@ class ScenarioSweepResult:
         ``lost`` / ``retry`` are the fault-model counters (all 0 for
         fault-free scenarios): crash events, crash-discarded work units,
         and retry resubmissions across nodes and replications.
+        ``p99_late`` is the mean-over-replications global p99 lateness
+        (``PointEstimate.p99_late``) -- the tail the miss-ratio columns
+        cannot show; ``-`` when no replication completed a global task.
         """
         headers = [
             "scenario", "rank", "strategy", "MD_global", "MD_local", "gap",
-            "preempt", "crash", "lost", "retry",
+            "p99_late", "preempt", "crash", "lost", "retry",
         ]
         rows: List[List[object]] = []
         for scenario in self.scenarios:
             for rank, cell in enumerate(self.ranking(scenario), start=1):
                 estimate = cell.estimate
+                p99_late = estimate.p99_late
                 rows.append([
                     scenario if rank == 1 else "",
                     rank,
@@ -113,6 +117,7 @@ class ScenarioSweepResult:
                     format_percent(estimate.md_global.mean),
                     format_percent(estimate.md_local.mean),
                     format_percent(estimate.gap),
+                    "-" if math.isnan(p99_late) else f"{p99_late:.3f}",
                     estimate.preemptions,
                     estimate.crashes,
                     estimate.lost,

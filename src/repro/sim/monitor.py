@@ -10,6 +10,14 @@ Two collector flavors, mirroring classic simulation-language monitors
 
 Both support a *warm-up reset*: experiments discard the transient start-up
 phase by calling :meth:`reset` at the end of the warm-up period.
+
+For the *"what is the system doing now"* view that end-of-run means cannot
+express, :class:`DecayedMean` and :class:`DecayedRate` maintain
+exponentially time-decayed estimates (window parameter ``tau`` in
+sim-time units): observations older than a few ``tau`` stop mattering, so
+the value tracks the current regime instead of the whole history.  Both
+are O(1) memory, draw no random numbers, and pickle bit-identically
+inside checkpoints.
 """
 
 from __future__ import annotations
@@ -222,6 +230,116 @@ class TimeWeighted:
 
     def __repr__(self) -> str:
         return f"TimeWeighted({self.name!r}, value={self._value!r})"
+
+
+class DecayedMean:
+    """Exponentially time-decayed weighted mean of an observation stream.
+
+    Each observation enters with weight 1; all weights decay by
+    ``exp(-dt / tau)`` as sim-time advances, so the mean converges to the
+    recent stream (half-life ``tau * ln 2``).  Because decay scales every
+    weight equally, the *mean itself* is invariant under pure passage of
+    time -- a long silence keeps the last regime's value (with shrinking
+    total weight) rather than drifting toward zero.
+
+    Used for windowed miss rates (0/1 miss indicators), current response
+    times, and current queue depths (sampled at completion instants).
+    """
+
+    __slots__ = ("name", "tau", "_weight", "_mean", "_last_time")
+
+    def __init__(self, tau: float, name: str = "", start_time: float = 0.0) -> None:
+        if not tau > 0:
+            raise ValueError(f"tau must be positive, got {tau}")
+        self.name = name
+        self.tau = tau
+        self._weight = 0.0
+        self._mean = 0.0
+        self._last_time = start_time
+
+    def observe(self, value: float, now: float) -> None:
+        """Record one observation at sim-time ``now``."""
+        dt = now - self._last_time
+        if dt > 0.0:
+            self._weight *= math.exp(-dt / self.tau)
+            self._last_time = now
+        elif dt < 0.0:
+            raise ValueError(
+                f"time went backwards: {now} < {self._last_time} in {self.name!r}"
+            )
+        weight = self._weight + 1.0
+        self._weight = weight
+        self._mean += (value - self._mean) / weight
+
+    @property
+    def value(self) -> float:
+        """Current decayed mean (``nan`` before the first observation)."""
+        return self._mean if self._weight > 0.0 else math.nan
+
+    def weight_at(self, now: float) -> float:
+        """Total decayed weight at ``now`` (an effective sample size)."""
+        dt = now - self._last_time
+        if dt <= 0.0:
+            return self._weight
+        return self._weight * math.exp(-dt / self.tau)
+
+    def reset(self, now: float) -> None:
+        """Forget everything; restart the window at sim-time ``now``."""
+        self._weight = 0.0
+        self._mean = 0.0
+        self._last_time = now
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DecayedMean({self.name!r}, tau={self.tau}, value={self.value:.6g})"
+
+
+class DecayedRate:
+    """Exponentially time-decayed event rate (events per unit sim-time).
+
+    Each :meth:`tick` adds one unit of mass; mass decays by
+    ``exp(-dt / tau)``.  For a Poisson stream of rate ``r`` the decayed
+    mass converges to ``r * tau``, so :meth:`rate_at` (mass divided by
+    ``tau``) is an unbiased estimate of the *current* event rate,
+    discounting anything older than a few ``tau``.
+    """
+
+    __slots__ = ("name", "tau", "_mass", "_last_time")
+
+    def __init__(self, tau: float, name: str = "", start_time: float = 0.0) -> None:
+        if not tau > 0:
+            raise ValueError(f"tau must be positive, got {tau}")
+        self.name = name
+        self.tau = tau
+        self._mass = 0.0
+        self._last_time = start_time
+
+    def tick(self, now: float, weight: float = 1.0) -> None:
+        """Record one event (of optional ``weight``) at sim-time ``now``."""
+        dt = now - self._last_time
+        if dt > 0.0:
+            self._mass *= math.exp(-dt / self.tau)
+            self._last_time = now
+        elif dt < 0.0:
+            raise ValueError(
+                f"time went backwards: {now} < {self._last_time} in {self.name!r}"
+            )
+        self._mass += weight
+
+    def rate_at(self, now: float) -> float:
+        """Current decayed event rate at sim-time ``now``."""
+        dt = now - self._last_time
+        mass = self._mass
+        if dt > 0.0:
+            mass *= math.exp(-dt / self.tau)
+        return mass / self.tau
+
+    def reset(self, now: float) -> None:
+        """Forget everything; restart the window at sim-time ``now``."""
+        self._mass = 0.0
+        self._last_time = now
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DecayedRate({self.name!r}, tau={self.tau})"
 
 
 class Series:

@@ -15,12 +15,21 @@ the window grows.)
 
 from __future__ import annotations
 
+import math
 from dataclasses import asdict, dataclass
 from typing import Any, Dict, List, Optional
 
 from ..core.task import TaskClass
-from ..sim.monitor import MeanTally, TimeWeighted
+from ..sim.monitor import DecayedMean, DecayedRate, MeanTally, TimeWeighted
+from ..sim.sketch import QuantileSketch
 from .work import WorkUnit
+
+#: The singleton ``nan`` used for "no observations" fields.  One shared
+#: object matters: dataclass equality compares fields element-wise with
+#: the identity shortcut, so two empty snapshots compare equal exactly
+#: when both carry *this* object (as :class:`MeanTally`/``QuantileSketch``
+#: guarantee by returning ``math.nan`` itself).
+_NAN = math.nan
 
 
 @dataclass(frozen=True)
@@ -37,6 +46,16 @@ class ClassStats:
     #: ``"failed"`` :class:`GlobalTaskOutcome` disposition).  A subset of
     #: ``aborted`` -- failed tasks are counted in both.
     failed: int = 0
+    #: Streaming percentile estimates of response time and lateness,
+    #: from O(1)-memory P² sketches (:mod:`repro.sim.sketch`): exact for
+    #: up to five completions, Jain/Chlamtac marker estimates beyond.
+    #: ``nan`` when nothing completed.
+    p50_response: float = _NAN
+    p95_response: float = _NAN
+    p99_response: float = _NAN
+    p50_lateness: float = _NAN
+    p95_lateness: float = _NAN
+    p99_lateness: float = _NAN
 
     @property
     def miss_ratio(self) -> float:
@@ -55,7 +74,27 @@ class ClassStats:
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "ClassStats":
-        return cls(**data)
+        """Inverse of :meth:`to_dict`, tolerant of older records.
+
+        Fields added after a journal was written default (counters to 0,
+        percentiles to ``nan``), and unknown keys are ignored -- so sweep
+        journals from any prior release stay loadable.
+        """
+        return cls(
+            completed=data["completed"],
+            missed=data["missed"],
+            aborted=data["aborted"],
+            mean_response=data["mean_response"],
+            mean_lateness=data["mean_lateness"],
+            mean_waiting=data["mean_waiting"],
+            failed=data.get("failed", 0),
+            p50_response=data.get("p50_response", _NAN),
+            p95_response=data.get("p95_response", _NAN),
+            p99_response=data.get("p99_response", _NAN),
+            p50_lateness=data.get("p50_lateness", _NAN),
+            p95_lateness=data.get("p95_lateness", _NAN),
+            p99_lateness=data.get("p99_lateness", _NAN),
+        )
 
 
 @dataclass(frozen=True)
@@ -85,7 +124,18 @@ class NodeStats:
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "NodeStats":
-        return cls(**data)
+        """Inverse of :meth:`to_dict`, tolerant of older records (fields
+        added later default; unknown keys are ignored)."""
+        return cls(
+            index=data["index"],
+            utilization=data["utilization"],
+            mean_queue_length=data["mean_queue_length"],
+            dispatched=data["dispatched"],
+            preemptions=data.get("preemptions", 0),
+            crashes=data.get("crashes", 0),
+            lost=data.get("lost", 0),
+            downtime=data.get("downtime", 0.0),
+        )
 
 
 @dataclass(frozen=True)
@@ -192,6 +242,8 @@ class RunResult:
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "RunResult":
+        """Inverse of :meth:`to_dict`, tolerant of records written before
+        a field existed (``retries`` landed after the first journals)."""
         return cls(
             sim_time=data["sim_time"],
             warmup=data["warmup"],
@@ -202,7 +254,7 @@ class RunResult:
             per_node=[
                 NodeStats.from_dict(stats) for stats in data["per_node"]
             ],
-            retries=data["retries"],
+            retries=data.get("retries", 0),
         )
 
 
@@ -217,6 +269,8 @@ class _ClassAccumulator:
         "response",
         "lateness",
         "waiting",
+        "response_sketch",
+        "lateness_sketch",
     )
 
     def __init__(self, label: str) -> None:
@@ -227,6 +281,10 @@ class _ClassAccumulator:
         self.response = MeanTally(f"{label}/response")
         self.lateness = MeanTally(f"{label}/lateness")
         self.waiting = MeanTally(f"{label}/waiting")
+        # O(1)-memory streaming percentiles (p50/p95/p99), updated inline
+        # on the completion hot path next to the mean tallies.
+        self.response_sketch = QuantileSketch(name=f"{label}/response")
+        self.lateness_sketch = QuantileSketch(name=f"{label}/lateness")
 
     def reset(self) -> None:
         self.completed = 0
@@ -236,8 +294,12 @@ class _ClassAccumulator:
         self.response.reset()
         self.lateness.reset()
         self.waiting.reset()
+        self.response_sketch.reset()
+        self.lateness_sketch.reset()
 
     def snapshot(self) -> ClassStats:
+        response_sketch = self.response_sketch
+        lateness_sketch = self.lateness_sketch
         return ClassStats(
             completed=self.completed,
             missed=self.missed,
@@ -246,7 +308,160 @@ class _ClassAccumulator:
             mean_lateness=self.lateness.mean,
             mean_waiting=self.waiting.mean,
             failed=self.failed,
+            p50_response=response_sketch.quantile(0.5),
+            p95_response=response_sketch.quantile(0.95),
+            p99_response=response_sketch.quantile(0.99),
+            p50_lateness=lateness_sketch.quantile(0.5),
+            p95_lateness=lateness_sketch.quantile(0.95),
+            p99_lateness=lateness_sketch.quantile(0.99),
         )
+
+
+#: Default window for the time-decayed "current" signals, in sim-time
+#: units: long enough to smooth over individual completions at baseline
+#: load, short enough that a load-profile phase change shows within a
+#: few hundred time units.
+DEFAULT_WINDOW_TAU = 500.0
+
+
+class _ClassWindow:
+    """Time-decayed "current" signals for one task class."""
+
+    __slots__ = ("miss", "throughput", "response")
+
+    def __init__(self, tau: float, label: str, start_time: float) -> None:
+        #: Decayed mean of the 0/1 miss indicator: the *current* miss rate.
+        self.miss = DecayedMean(tau, f"{label}/miss-rate", start_time)
+        #: Decayed completion rate (tasks per unit sim-time).
+        self.throughput = DecayedRate(tau, f"{label}/throughput", start_time)
+        #: Decayed mean response time of recent completions.
+        self.response = DecayedMean(tau, f"{label}/response", start_time)
+
+    def record(self, missed: float, response: Optional[float], now: float) -> None:
+        self.miss.observe(missed, now)
+        self.throughput.tick(now)
+        if response is not None:
+            self.response.observe(response, now)
+
+    def reset(self, now: float) -> None:
+        self.miss.reset(now)
+        self.throughput.reset(now)
+        self.response.reset(now)
+
+    def snapshot(self, now: float) -> Dict[str, float]:
+        return {
+            "miss_rate": self.miss.value,
+            "throughput": self.throughput.rate_at(now),
+            "mean_response": self.response.value,
+        }
+
+
+class _NodeWindow:
+    """Time-decayed "current" load signals for one node."""
+
+    __slots__ = ("throughput", "queue")
+
+    def __init__(self, tau: float, index: int, start_time: float) -> None:
+        #: Decayed unit-completion rate at this node (its current load).
+        self.throughput = DecayedRate(tau, f"node-{index}/throughput", start_time)
+        #: Decayed mean queue depth, sampled at completion instants.
+        self.queue = DecayedMean(tau, f"node-{index}/queue", start_time)
+
+    def reset(self, now: float) -> None:
+        self.throughput.reset(now)
+        self.queue.reset(now)
+
+    def snapshot(self, now: float) -> Dict[str, float]:
+        return {
+            "throughput": self.throughput.rate_at(now),
+            "queue_depth": self.queue.value,
+        }
+
+
+class WindowedSignals:
+    """Exponentially time-decayed *current* load signals, per node and class.
+
+    End-of-run means answer "how did the run go"; these answer "what is
+    the system doing *now*" -- the view an in-run strategy switcher
+    (ROADMAP item 4) and the incremental metric emitter consume.  Off by
+    default (one ``is None`` check per completion, same discipline as the
+    tracer); enable with :meth:`MetricsCollector.enable_windows`.
+
+    Updates are pure float arithmetic on already-observed completion
+    events: no random draws, no event scheduling -- enabling windows is
+    invisible to the golden determinism gate.
+    """
+
+    __slots__ = ("tau", "local", "global_", "nodes", "_queue_signals")
+
+    def __init__(
+        self,
+        node_count: int,
+        tau: float = DEFAULT_WINDOW_TAU,
+        start_time: float = 0.0,
+        queue_signals: Optional[List[TimeWeighted]] = None,
+    ) -> None:
+        if not tau > 0:
+            raise ValueError(f"tau must be positive, got {tau}")
+        self.tau = tau
+        self.local = _ClassWindow(tau, "local", start_time)
+        self.global_ = _ClassWindow(tau, "global", start_time)
+        self.nodes = [
+            _NodeWindow(tau, i, start_time) for i in range(node_count)
+        ]
+        #: The collector's live queue-length signals, sampled for the
+        #: decayed queue-depth estimate (may be None standalone).
+        self._queue_signals = queue_signals
+
+    def record_unit(self, unit: WorkUnit, now: Optional[float]) -> None:
+        """Fold one finished work unit (any class) into the signals."""
+        timing = unit.timing
+        if timing.aborted:
+            # An abort is a certain miss; it has no response time and
+            # does not count as node throughput.  Callers on the hot
+            # path pass the abort instant; without it there is no
+            # timestamp to decay against, so skip.
+            if now is not None and unit.task_class is _LOCAL:
+                self.local.record(1.0, None, now)
+            return
+        completed_at = timing.completed_at
+        node = self.nodes[unit.node_index]
+        node.throughput.tick(completed_at)
+        signals = self._queue_signals
+        if signals is not None:
+            node.queue.observe(
+                signals[unit.node_index]._value, completed_at
+            )
+        if unit.task_class is _LOCAL:
+            self.local.record(
+                1.0 if completed_at > timing.dl else 0.0,
+                completed_at - timing.ar,
+                completed_at,
+            )
+
+    def record_global(
+        self, missed: float, response: Optional[float], now: float
+    ) -> None:
+        """Fold one end-to-end global-task outcome into the signals."""
+        self.global_.record(missed, response, now)
+
+    def reset(self, now: float) -> None:
+        """Restart every window at ``now`` (warm-up truncation)."""
+        self.local.reset(now)
+        self.global_.reset(now)
+        for node in self.nodes:
+            node.reset(now)
+
+    def snapshot(self, now: float) -> Dict[str, Any]:
+        """JSON-ready view of every current signal at sim-time ``now``."""
+        return {
+            "tau": self.tau,
+            "per_class": {
+                "local": self.local.snapshot(now),
+                "global": self.global_.snapshot(now),
+            },
+            "per_node": [node.snapshot(now) for node in self.nodes],
+        }
 
 
 _LOCAL = TaskClass.LOCAL
@@ -287,6 +502,10 @@ class MetricsCollector:
         self.retries = 0
         self._warmup_end = 0.0
         self._tracer = None
+        #: Optional :class:`WindowedSignals` (see :meth:`enable_windows`);
+        #: ``None`` keeps the hot path at one pointer comparison, the
+        #: same discipline as ``_tracer``.
+        self._window: Optional[WindowedSignals] = None
 
     @property
     def tracer(self):
@@ -308,23 +527,56 @@ class MetricsCollector:
         if self._tracer is not None:
             self._tracer.record(time, kind, unit, node_index)
 
+    @property
+    def window(self) -> Optional[WindowedSignals]:
+        """The attached :class:`WindowedSignals`, or ``None`` (default)."""
+        return self._window
+
+    def enable_windows(
+        self, tau: float = DEFAULT_WINDOW_TAU, now: float = 0.0
+    ) -> WindowedSignals:
+        """Attach (and return) time-decayed load signals starting at ``now``.
+
+        Idempotent for a matching ``tau``; a different ``tau`` replaces
+        the window wholesale (fresh state).
+        """
+        window = self._window
+        if window is None or window.tau != tau:
+            window = WindowedSignals(
+                node_count=len(self.node_busy),
+                tau=tau,
+                start_time=now,
+                queue_signals=self.node_queue,
+            )
+            self._window = window
+        return window
+
     # -- recording ---------------------------------------------------------
 
-    def record_unit_completion(self, unit: WorkUnit) -> None:
+    def record_unit_completion(
+        self, unit: WorkUnit, now: Optional[float] = None
+    ) -> None:
         """Record the outcome of a finished *local* work unit.
 
         Global subtasks are not recorded here: the paper's ``MD_global`` is
         an end-to-end measure, recorded once per global task by
-        :meth:`record_global_completion`.
+        :meth:`record_global_completion`.  ``now`` (the recording instant)
+        only feeds the optional windowed signals; node loops pass it so
+        aborted units -- which carry no ``completed_at`` -- still have a
+        timestamp to decay against.
 
         The body inlines the equivalents of ``timing.missed`` /
         ``.response_time`` / ``.lateness`` / ``.waiting_time`` plus the
         three ``MeanTally.observe`` calls (Welford's mean update, same
-        arithmetic).  This runs once per completed unit, and the
-        property chain plus the call frames cost more than the whole
-        update.  A node only records after stamping ``completed_at``,
-        so the property guards cannot fire here.
+        arithmetic; ``response``/``lateness`` hoisted left-associatively,
+        so the floats are bit-identical).  This runs once per completed
+        unit, and the property chain plus the call frames cost more than
+        the whole update.  A node only records after stamping
+        ``completed_at``, so the property guards cannot fire here.
         """
+        window = self._window
+        if window is not None:
+            window.record_unit(unit, now)
         if unit.task_class is not _LOCAL:
             return
         acc = self._local_acc
@@ -339,16 +591,21 @@ class MetricsCollector:
         if completed_at > deadline:
             acc.missed += 1
         arrival = timing.ar
+        response = completed_at - arrival
+        lateness = completed_at - deadline
 
         tally = acc.response
         count = tally.count + 1
         tally.count = count
-        tally._mean += (completed_at - arrival - tally._mean) / count
+        tally._mean += (response - tally._mean) / count
 
         tally = acc.lateness
         count = tally.count + 1
         tally.count = count
-        tally._mean += (completed_at - deadline - tally._mean) / count
+        tally._mean += (lateness - tally._mean) / count
+
+        acc.response_sketch.observe(response)
+        acc.lateness_sketch.observe(lateness)
 
         started_at = timing.started_at
         if started_at is not None:
@@ -364,26 +621,37 @@ class MetricsCollector:
         response_time: Optional[float] = None,
         lateness: Optional[float] = None,
         failed: bool = False,
+        now: Optional[float] = None,
     ) -> None:
         """Record the end-to-end outcome of one global task.
 
         An aborted task never completed, so it has no response time or
         lateness; callers pass ``None`` (the default) and only the
         aborted/missed counters move.  ``failed`` marks the retry-budget-
-        exhausted disposition (a subset of aborted).
+        exhausted disposition (a subset of aborted).  ``now`` feeds the
+        optional windowed signals only.
         """
         acc = self._global_acc
+        window = self._window
         if aborted:
             acc.aborted += 1
             acc.missed += 1
             if failed:
                 acc.failed += 1
+            if window is not None and now is not None:
+                window.record_global(1.0, None, now)
             return
         acc.completed += 1
         if timing_missed:
             acc.missed += 1
         acc.response.observe(response_time)
         acc.lateness.observe(lateness)
+        acc.response_sketch.observe(response_time)
+        acc.lateness_sketch.observe(lateness)
+        if window is not None and now is not None:
+            window.record_global(
+                1.0 if timing_missed else 0.0, response_time, now
+            )
 
     def count_dispatch(self, node_index: int) -> None:
         """Count one dispatch decision at a node."""
@@ -410,6 +678,8 @@ class MetricsCollector:
             signal.reset(now)
         self.retries = 0
         self._warmup_end = now
+        if self._window is not None:
+            self._window.reset(now)
 
     def snapshot(self, now: float) -> RunResult:
         """Freeze current statistics into a :class:`RunResult`."""

@@ -217,7 +217,7 @@ class Node:
                 timing.aborted = True
                 if metrics._tracer is not None:
                     metrics._tracer.record(now, "abort", unit, index)
-                metrics.record_unit_completion(unit)
+                metrics.record_unit_completion(unit, now)
                 done = unit._done
                 if done is not None:
                     done.succeed(unit)
@@ -285,7 +285,7 @@ class Node:
             busy.min = 0.0
         if metrics._tracer is not None:
             metrics._tracer.record(now, "complete", unit, index)
-        metrics.record_unit_completion(unit)
+        metrics.record_unit_completion(unit, now)
         done = unit._done
         if done is not None:
             done.succeed(unit)
@@ -389,7 +389,7 @@ class Node:
         metrics.node_lost[index] += 1
         if metrics._tracer is not None:
             metrics._tracer.record(now, "lost", unit, index)
-        metrics.record_unit_completion(unit)
+        metrics.record_unit_completion(unit, now)
         done = unit._done
         if done is not None:
             done.succeed(unit)

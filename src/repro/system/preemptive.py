@@ -224,7 +224,7 @@ class PreemptiveNode(Node):
                 remaining.pop(unit.id, None)
                 if tracer is not None:
                     tracer.record(now, "abort", unit, index)
-                metrics.record_unit_completion(unit)
+                metrics.record_unit_completion(unit, now)
                 done = unit._done
                 if done is not None:
                     done.succeed(unit)

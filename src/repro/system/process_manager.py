@@ -182,7 +182,7 @@ class _TaskRun(_Continuation):
         deadline = self.deadline
         if aborted:
             manager.metrics.record_global_completion(
-                timing_missed=True, aborted=True, failed=self.failed
+                timing_missed=True, aborted=True, failed=self.failed, now=now
             )
         else:
             manager.metrics.record_global_completion(
@@ -190,6 +190,7 @@ class _TaskRun(_Continuation):
                 aborted=False,
                 response_time=now - self.arrival,
                 lateness=now - deadline,
+                now=now,
             )
         outcome_event = self.outcome_event
         if outcome_event is not None:

@@ -22,6 +22,7 @@ from ..core.strategies import DeadlineAssigner, parse_assigner
 from ..sim.core import Environment
 from ..sim.rng import StreamFactory
 from .config import PARALLEL, SERIAL, SERIAL_PARALLEL, SystemConfig
+from .emission import EmissionPolicy, MetricsEmitter
 from .faults import FaultInjector, LiveSet
 from .metrics import MetricsCollector, RunResult
 from .node import Node
@@ -222,7 +223,9 @@ class Simulation:
         raise ValueError(f"unknown task structure {config.task_structure!r}")
 
     def run(
-        self, checkpoint: Optional[CheckpointPolicy] = None
+        self,
+        checkpoint: Optional[CheckpointPolicy] = None,
+        emit: Optional[EmissionPolicy] = None,
     ) -> RunResult:
         """Execute the configured run and return its measurements.
 
@@ -232,9 +235,15 @@ class Simulation:
         the run bit-identically to the uninterrupted one.  Works both on
         fresh simulations and on restored ones (which skip the already
         completed warmup).
+
+        With an :class:`~repro.system.emission.EmissionPolicy`, the run
+        additionally writes a JSONL metric time series to the policy's
+        path: interval records during the measured phase, and a final
+        record whose cumulative payload equals the returned result.
+        Emission is observation-only and determinism-invisible.
         """
-        if checkpoint is not None:
-            return self._run_checkpointed(checkpoint)
+        if checkpoint is not None or emit is not None:
+            return self._run_sliced(checkpoint, emit)
         config = self.config
         if config.warmup_time > 0 and not self._warmup_done:
             self.env.run(until=config.warmup_time)
@@ -243,41 +252,66 @@ class Simulation:
         self.env.run(until=config.sim_time)
         return self.metrics.snapshot(self.env.now)
 
-    def _run_checkpointed(self, policy: CheckpointPolicy) -> RunResult:
-        """The sliced run loop behind ``run(checkpoint=...)``.
+    def _run_sliced(
+        self,
+        checkpoint: Optional[CheckpointPolicy],
+        emit: Optional[EmissionPolicy],
+    ) -> RunResult:
+        """The sliced run loop behind ``run(checkpoint=..., emit=...)``.
 
-        Each phase's time horizon is cut into slices and the policy's
+        Each phase's time horizon is cut into slices and the policies'
         triggers are checked between slices.  Slicing is free in terms
         of determinism: the run-horizon sentinel consumes no sequence
         number, so ``run(until=a); run(until=b)`` is bit-identical to
-        ``run(until=b)`` (pinned by the engine kernel tests), and the
-        snapshot itself only reads state.
+        ``run(until=b)`` (pinned by the engine kernel tests), and both
+        the checkpoint snapshot and the emitted records only read state.
+
+        Interval records are only cut during the measured phase --
+        warm-up statistics are discarded at the reset, so emitting them
+        would just be noise; the emitter's windowed signals still warm
+        up through the transient (and restart at the reset with
+        everything else).
         """
         env = self.env
         config = self.config
-        trigger = _Trigger(policy, env)
+        checkpoint_trigger = (
+            _Trigger(checkpoint, env) if checkpoint is not None else None
+        )
+        emitter = None
+        emit_trigger = None
+        if emit is not None:
+            emitter = MetricsEmitter(emit, self)
+            emit_trigger = _Trigger(emit, env)
 
-        def advance(target: float) -> None:
+        def advance(target: float, measured: bool) -> None:
             remaining = target - env.now
             if remaining <= 0:
                 return
             step = remaining / 128.0
             while env.now < target:
                 env.run(until=min(env.now + step, target))
-                if trigger.due():
-                    save_checkpoint(self, policy.path)
-                    trigger.saved()
+                if checkpoint_trigger is not None and checkpoint_trigger.due():
+                    save_checkpoint(self, checkpoint.path)
+                    checkpoint_trigger.saved()
+                if measured and emit_trigger is not None and emit_trigger.due():
+                    emitter.emit_interval()
+                    emit_trigger.saved()
 
         if config.warmup_time > 0 and not self._warmup_done:
-            advance(config.warmup_time)
+            advance(config.warmup_time, measured=False)
             self.metrics.reset(env.now)
         self._warmup_done = True
-        advance(config.sim_time)
-        return self.metrics.snapshot(env.now)
+        advance(config.sim_time, measured=True)
+        result = self.metrics.snapshot(env.now)
+        if emitter is not None:
+            emitter.emit_final(result)
+        return result
 
 
 def simulate(
-    config: SystemConfig, checkpoint: Optional[CheckpointPolicy] = None
+    config: SystemConfig,
+    checkpoint: Optional[CheckpointPolicy] = None,
+    emit: Optional[EmissionPolicy] = None,
 ) -> RunResult:
     """One-shot convenience: build and run a :class:`Simulation`."""
-    return Simulation(config).run(checkpoint=checkpoint)
+    return Simulation(config).run(checkpoint=checkpoint, emit=emit)

@@ -9,13 +9,18 @@ every submit / dispatch / preempt / abort / completion is recorded.
 Rendering: :meth:`TraceLog.render_timeline` draws an ASCII Gantt chart of
 busy intervals per node; :meth:`TraceLog.render_events` lists events in
 order.  Traces grow linearly with work executed, so tracing is off by
-default and meant for short runs.
+default and meant for short runs.  ``limit`` caps memory and counts what
+it drops (:attr:`TraceLog.dropped`/:attr:`~TraceLog.truncated`); for
+long runs that need the *whole* trace, :class:`JsonlTraceSink` streams
+every event to a JSONL file in O(1) memory instead.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Any, List, Optional, Sequence, Tuple
+
+from ..checkpoint import JsonlAppender, read_jsonl
 
 #: Event kinds recorded by the nodes.
 SUBMIT = "submit"
@@ -53,6 +58,16 @@ class TraceLog:
         self.events: List[TraceEvent] = []
         #: Optional hard cap to keep long runs from exhausting memory.
         self.limit = limit
+        #: Events discarded after the cap was reached.  A capped trace is
+        #: still useful (the head shows the transient), but analysis must
+        #: be able to tell "the run recorded 500 events" from "the run
+        #: recorded 500 and threw away two million".
+        self.dropped = 0
+
+    @property
+    def truncated(self) -> bool:
+        """True when the cap was hit and at least one event was dropped."""
+        return self.dropped > 0
 
     # -- recording -----------------------------------------------------------
 
@@ -61,6 +76,7 @@ class TraceLog:
         if kind not in KINDS:
             raise ValueError(f"unknown trace event kind {kind!r}")
         if self.limit is not None and len(self.events) >= self.limit:
+            self.dropped += 1
             return
         self.events.append(
             TraceEvent(
@@ -119,6 +135,11 @@ class TraceLog:
         lines = [str(event) for event in self.events[:limit]]
         if len(self.events) > limit:
             lines.append(f"... ({len(self.events) - limit} more events)")
+        if self.dropped:
+            lines.append(
+                f"... (trace truncated: {self.dropped} events dropped "
+                f"at the {self.limit}-event cap)"
+            )
         return "\n".join(lines)
 
     def render_timeline(
@@ -160,4 +181,82 @@ class TraceLog:
         return len(self.events)
 
     def __repr__(self) -> str:
+        if self.dropped:
+            return (
+                f"TraceLog(events={len(self.events)}, "
+                f"truncated, dropped={self.dropped})"
+            )
         return f"TraceLog(events={len(self.events)})"
+
+
+class JsonlTraceSink:
+    """Streams trace events to a JSONL file in O(1) memory.
+
+    The same ``record()`` interface as :class:`TraceLog`, so it attaches
+    anywhere a trace log does (``metrics.tracer = JsonlTraceSink(path)``)
+    -- but instead of accumulating :class:`TraceEvent` objects it writes
+    each event as one flushed JSON line, so arbitrarily long traced runs
+    stay bounded-memory.  Load a written file back into memory with
+    :func:`load_trace_events`.
+
+    Picklable: the underlying appender reopens its file in append mode
+    on restore, so a sink inside a checkpointed simulation resumes
+    appending to the same file after a crash/restore cycle.
+    """
+
+    def __init__(self, path: Any, append: bool = False) -> None:
+        self._appender = JsonlAppender(path, append=append)
+
+    @property
+    def path(self) -> str:
+        return self._appender.path
+
+    @property
+    def written(self) -> int:
+        """Events written so far (survives checkpoint/restore)."""
+        return self._appender.written
+
+    def record(self, time: float, kind: str, unit, node_index: int) -> None:
+        """Record one event for a work unit (called by nodes)."""
+        if kind not in KINDS:
+            raise ValueError(f"unknown trace event kind {kind!r}")
+        self._appender.write(
+            {
+                "time": time,
+                "kind": kind,
+                "unit": unit.name,
+                "node": node_index,
+                "class": unit.task_class.value,
+                "deadline": unit.timing.dl,
+            }
+        )
+
+    def close(self) -> None:
+        self._appender.close()
+
+    def __len__(self) -> int:
+        return self._appender.written
+
+    def __repr__(self) -> str:
+        return f"JsonlTraceSink({self.path!r}, written={self.written})"
+
+
+def load_trace_events(path: Any) -> List[TraceEvent]:
+    """Read a :class:`JsonlTraceSink` file back as :class:`TraceEvent` s.
+
+    Tolerates a torn final line (the writer crashed mid-record), so the
+    events of a killed run remain loadable.
+    """
+    events: List[TraceEvent] = []
+    for record in read_jsonl(path):
+        events.append(
+            TraceEvent(
+                time=record["time"],
+                kind=record["kind"],
+                unit_name=record["unit"],
+                node_index=record["node"],
+                task_class=record["class"],
+                deadline=record["deadline"],
+            )
+        )
+    return events

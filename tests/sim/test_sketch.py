@@ -1,0 +1,237 @@
+"""P² quantile sketch: accuracy against exact quantiles, and state safety.
+
+The pinned tolerances here are the contract the metrics layer relies on:
+adversarial orderings (sorted, reverse-sorted) and nasty shapes (constant,
+bimodal, heavy-tail Pareto) must stay within a usable distance of the
+exact sorted-list quantile, and pickling must round-trip the internal
+state bit for bit (checkpoints depend on it).
+"""
+
+import math
+import pickle
+
+import pytest
+
+from repro.sim.distributions import Pareto
+from repro.sim.rng import StreamFactory
+from repro.sim.sketch import CHUNK, DEFAULT_QUANTILES, QuantileSketch
+
+
+def exact_quantile(values, p):
+    """Nearest-rank quantile of a finite sample (the sketch's ground truth)."""
+    ordered = sorted(values)
+    rank = math.ceil(p * len(ordered)) - 1
+    return ordered[max(0, min(len(ordered) - 1, rank))]
+
+
+def feed(values, probs=DEFAULT_QUANTILES):
+    sketch = QuantileSketch(probs=probs)
+    for value in values:
+        sketch.observe(value)
+    return sketch
+
+
+def uniform_stream(n, seed=1):
+    rng = StreamFactory(seed).get("sketch-test")
+    return [rng.random() * 100.0 for _ in range(n)]
+
+
+class TestConstruction:
+    def test_needs_at_least_one_probability(self):
+        with pytest.raises(ValueError):
+            QuantileSketch(probs=())
+
+    def test_rejects_out_of_range_probability(self):
+        with pytest.raises(ValueError):
+            QuantileSketch(probs=(0.5, 1.0))
+        with pytest.raises(ValueError):
+            QuantileSketch(probs=(0.0,))
+
+    def test_untracked_quantile_raises_key_error(self):
+        sketch = feed([1.0, 2.0, 3.0])
+        with pytest.raises(KeyError):
+            sketch.quantile(0.25)
+
+
+class TestSmallStreams:
+    def test_empty_is_nan(self):
+        sketch = QuantileSketch()
+        assert math.isnan(sketch.quantile(0.5))
+        assert all(math.isnan(v) for v in sketch.estimates())
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 5])
+    def test_exact_up_to_five_observations(self, n):
+        values = [9.0, 1.0, 7.0, 3.0, 5.0][:n]
+        sketch = feed(values)
+        for p in DEFAULT_QUANTILES:
+            assert sketch.quantile(p) == exact_quantile(values, p)
+
+    def test_observation_order_irrelevant_below_marker_init(self):
+        a = feed([3.0, 1.0, 2.0])
+        b = feed([1.0, 2.0, 3.0])
+        assert a.quantile(0.5) == b.quantile(0.5)
+
+
+class TestChunkBoundary:
+    """The chunked commit must be invisible at the seams."""
+
+    def test_exact_through_one_full_chunk(self):
+        values = uniform_stream(CHUNK - 1, seed=5)
+        sketch = feed(values)
+        for p in DEFAULT_QUANTILES:
+            assert sketch.quantile(p) == exact_quantile(values, p)
+
+    def test_estimates_continuous_across_first_commit(self):
+        values = uniform_stream(CHUNK + 50, seed=5)
+        sketch = feed(values)
+        spread = max(values) - min(values)
+        for p in DEFAULT_QUANTILES:
+            exact = exact_quantile(values, p)
+            assert abs(sketch.quantile(p) - exact) <= 0.03 * spread
+
+    def test_queries_never_mutate_state(self):
+        sketch = feed(uniform_stream(CHUNK + 100, seed=5))
+        before = sketch.state()
+        for _ in range(3):
+            sketch.estimates()
+        assert sketch.state() == before
+
+    def test_pending_block_included_in_estimate(self):
+        # Committed chunk near 0, pending values near 100: the estimate
+        # must see the pending block, not just the committed markers.
+        sketch = QuantileSketch(probs=(0.99,))
+        for value in uniform_stream(CHUNK, seed=5):
+            sketch.observe(value * 0.01)  # committed: all < 1.0
+        for _ in range(CHUNK // 2):
+            sketch.observe(100.0)  # pending: a new upper mode
+        assert sketch.quantile(0.99) > 50.0
+
+
+class TestAccuracy:
+    """Estimates vs exact quantiles on adversarial streams.
+
+    Tolerances are relative to the sample's spread (max - min): P² is a
+    five-marker estimator, so a few percent of the range is the realistic
+    contract -- tight enough to rank strategies by tail latency, loose
+    enough to hold on hostile orderings.
+    """
+
+    def assert_close(self, values, rel_tol, probs=DEFAULT_QUANTILES):
+        sketch = feed(values, probs)
+        spread = max(values) - min(values)
+        scale = spread if spread > 0 else 1.0
+        for p in probs:
+            exact = exact_quantile(values, p)
+            estimate = sketch.quantile(p)
+            assert abs(estimate - exact) <= rel_tol * scale, (
+                f"p={p}: estimate {estimate} vs exact {exact} "
+                f"(spread {spread})"
+            )
+
+    def test_uniform_random_stream(self):
+        self.assert_close(uniform_stream(5_000), rel_tol=0.02)
+
+    def test_sorted_stream(self):
+        self.assert_close(sorted(uniform_stream(2_000)), rel_tol=0.05)
+
+    def test_reverse_sorted_stream(self):
+        self.assert_close(
+            sorted(uniform_stream(2_000), reverse=True), rel_tol=0.05
+        )
+
+    def test_constant_stream(self):
+        sketch = feed([4.25] * 1_000)
+        for p in DEFAULT_QUANTILES:
+            assert sketch.quantile(p) == 4.25
+
+    def test_bimodal_stream_tails(self):
+        # 50/50 mixture of clusters at 0 and 100: the tail estimates must
+        # stay tight.  The *median* of this stream sits exactly at the
+        # cliff between clusters, where P²'s continuous marker
+        # interpolation is known to land inside the gap -- so the median
+        # is only required to stay within the sample's range (the
+        # documented limitation), not near the exact value.
+        rng = StreamFactory(7).get("sketch-test")
+        values = [
+            (0.0 if rng.random() < 0.5 else 100.0) + rng.random()
+            for _ in range(4_000)
+        ]
+        sketch = feed(values)
+        spread = max(values) - min(values)
+        for p in (0.95, 0.99):
+            exact = exact_quantile(values, p)
+            assert abs(sketch.quantile(p) - exact) <= 0.02 * spread
+        assert min(values) <= sketch.quantile(0.5) <= max(values)
+
+    def test_bimodal_stream_off_center_median(self):
+        # With a 30/70 mixture the median lies inside the upper cluster,
+        # away from the gap, and all three quantiles must be accurate.
+        rng = StreamFactory(19).get("sketch-test")
+        values = [
+            (0.0 if rng.random() < 0.3 else 100.0) + rng.random()
+            for _ in range(4_000)
+        ]
+        self.assert_close(values, rel_tol=0.02)
+
+    def test_heavy_tail_pareto_stream(self):
+        rng = StreamFactory(11).get("sketch-test")
+        pareto = Pareto(mean_value=1.0, shape=2.5)
+        values = [pareto.sample(rng) for _ in range(5_000)]
+        # Heavy tails stretch the range; judge p50/p95 against the bulk
+        # and only require the p99 estimate to land inside the right
+        # order of magnitude of the exact tail.
+        sketch = feed(values)
+        for p in (0.5, 0.95):
+            exact = exact_quantile(values, p)
+            assert abs(sketch.quantile(p) - exact) <= 0.15 * exact
+        exact99 = exact_quantile(values, 0.99)
+        assert 0.5 * exact99 <= sketch.quantile(0.99) <= 2.0 * exact99
+
+    def test_median_on_shuffled_integers(self):
+        rng = StreamFactory(3).get("sketch-test")
+        values = list(range(1, 1_001))
+        for i in range(len(values) - 1, 0, -1):
+            j = int(rng.random() * (i + 1))
+            values[i], values[j] = values[j], values[i]
+        sketch = feed([float(v) for v in values], probs=(0.5,))
+        assert abs(sketch.quantile(0.5) - 500.5) <= 15.0
+
+
+class TestLifecycle:
+    def test_reset_forgets_everything(self):
+        sketch = feed(uniform_stream(100))
+        sketch.reset()
+        assert sketch.count == 0
+        assert math.isnan(sketch.quantile(0.5))
+        fresh = QuantileSketch()
+        assert sketch == fresh
+
+    def test_estimates_matches_quantile(self):
+        sketch = feed(uniform_stream(500))
+        assert sketch.estimates() == tuple(
+            sketch.quantile(p) for p in DEFAULT_QUANTILES
+        )
+
+    def test_repr_mentions_estimates(self):
+        sketch = feed([1.0, 2.0])
+        assert "p50" in repr(sketch)
+        assert "empty" in repr(QuantileSketch())
+
+
+class TestPickleRoundTrip:
+    @pytest.mark.parametrize("n", [0, 3, 5, 1_000])
+    def test_state_survives_pickle_bit_for_bit(self, n):
+        sketch = feed(uniform_stream(n, seed=13))
+        clone = pickle.loads(pickle.dumps(sketch))
+        assert clone == sketch
+        assert clone.state() == sketch.state()
+
+    def test_clone_continues_identically(self):
+        values = uniform_stream(2_000, seed=17)
+        sketch = feed(values[:1_000])
+        clone = pickle.loads(pickle.dumps(sketch))
+        for value in values[1_000:]:
+            sketch.observe(value)
+            clone.observe(value)
+        assert clone.state() == sketch.state()
+        assert clone.estimates() == sketch.estimates()

@@ -583,6 +583,134 @@ class TestCheckpointResumeGolden:
         assert values["kernel"] == kernel
         assert values["identical"] is True
 
+    def test_resume_restores_sketch_state_bit_identically(self, tmp_path):
+        """The P² quantile sketches ride inside the metrics accumulators;
+        a restored checkpoint must carry their complete marker state --
+        heights, positions, desired positions -- bit for bit, so the
+        resumed run's percentile estimates equal the straight-through
+        run's exactly."""
+        from repro.checkpoint import load_checkpoint
+        from repro.system.simulation import Simulation
+
+        config = baseline_config(
+            sim_time=SIM_TIME, warmup_time=WARMUP, seed=42
+        )
+        path = str(tmp_path / "sketch.ckpt")
+        _checkpoint_at(config, 1_200.0, path)
+        restored = load_checkpoint(path)
+
+        reference = Simulation(config)
+        reference.env.run(until=config.warmup_time)
+        reference.metrics.reset(reference.env.now)
+        reference._warmup_done = True
+        reference.env.run(until=1_200.0)
+
+        for cls in restored.metrics._classes:
+            restored_acc = restored.metrics._classes[cls]
+            reference_acc = reference.metrics._classes[cls]
+            assert (
+                restored_acc.response_sketch.state()
+                == reference_acc.response_sketch.state()
+            )
+            assert (
+                restored_acc.lateness_sketch.state()
+                == reference_acc.lateness_sketch.state()
+            )
+
+        finished = restored.run()
+        straight = reference.run()
+        assert finished == straight
+        assert finished.local.p99_response == straight.local.p99_response
+        assert finished.global_.p99_lateness == straight.global_.p99_lateness
+
+
+#: Driver for the kernel legs: the pinned serial-baseline observables
+#: must be identical with metric emission on -- emission is seq-free and
+#: draws no random numbers, so turning it on cannot move a single pin.
+_KERNEL_EMISSION_DRIVER = """
+import json, os, sys, tempfile
+from repro.sim.core import KERNEL
+from repro.system.config import baseline_config
+from repro.system.emission import EmissionPolicy, read_metrics_series
+from repro.system.simulation import simulate
+
+config = baseline_config(sim_time=2_500.0, warmup_time=250.0, seed=42)
+plain = simulate(config)
+path = os.path.join(tempfile.mkdtemp(), "golden.metrics.jsonl")
+emitted = simulate(
+    config, emit=EmissionPolicy(path=path, every_events=5_000)
+)
+final = read_metrics_series(path)[-1]
+print(json.dumps({
+    "kernel": KERNEL,
+    "identical": emitted == plain,
+    "final_matches": json.dumps(final["cumulative"], sort_keys=True)
+        == json.dumps(emitted.to_dict(), sort_keys=True),
+    "local_completed": emitted.local.completed,
+    "local_mean_response": emitted.local.mean_response,
+    "dispatched": [n.dispatched for n in emitted.per_node],
+}))
+"""
+
+
+class TestEmissionIsObservationOnly:
+    """Metric emission must never perturb the simulation it observes.
+
+    Same contract as tracing: the emitter rides the sliced run loop's
+    seq-free slice boundaries and only *reads* metric state, so a run
+    with emission on reproduces the pinned fixed-seed results exactly.
+    """
+
+    def test_emission_on_equals_pinned_result(self, serial_result, tmp_path):
+        from repro.system.emission import EmissionPolicy
+
+        emitted = simulate(
+            baseline_config(sim_time=SIM_TIME, warmup_time=WARMUP, seed=42),
+            emit=EmissionPolicy(
+                path=str(tmp_path / "m.jsonl"), every_events=5_000
+            ),
+        )
+        assert emitted == serial_result
+
+    def test_percentiles_exposed_and_ordered(self, serial_result):
+        for stats in (serial_result.local, serial_result.global_):
+            assert stats.p50_response <= stats.p95_response <= stats.p99_response
+            assert stats.p50_lateness <= stats.p95_lateness <= stats.p99_lateness
+            assert stats.p50_response > 0.0
+
+    def test_windowed_signals_are_observation_only(self, serial_result):
+        from repro.system.simulation import Simulation
+
+        simulation = Simulation(
+            baseline_config(sim_time=SIM_TIME, warmup_time=WARMUP, seed=42)
+        )
+        simulation.metrics.enable_windows(tau=250.0, now=0.0)
+        assert simulation.run() == serial_result
+
+    @pytest.mark.parametrize("kernel", ["python", "compiled"])
+    def test_emission_invisible_under_kernel(self, kernel):
+        if kernel == "compiled" and not _compiled_kernel_available():
+            pytest.skip("compiled kernel extension not built")
+        env = dict(os.environ, REPRO_KERNEL=kernel)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (
+                os.path.join(os.path.dirname(__file__), "..", "..", "src"),
+                env.get("PYTHONPATH", ""),
+            ) if p
+        )
+        output = subprocess.run(
+            [sys.executable, "-c", _KERNEL_EMISSION_DRIVER],
+            env=env, capture_output=True, text=True, check=True,
+        ).stdout
+        values = json.loads(output)
+        assert values["kernel"] == kernel
+        assert values["identical"] is True
+        assert values["final_matches"] is True
+        # The original pins, with emission on.
+        assert values["local_completed"] == 5136
+        assert values["local_mean_response"] == 1.783879225470131
+        assert values["dispatched"] == [1155, 1142, 1112, 1144, 1127, 1065]
+
 
 class TestTracingIsObservationOnly:
     """Tracing must never perturb the simulation it observes.

@@ -138,3 +138,125 @@ class TestRunResult:
         # node 1 stays idle
         result = collector.snapshot(10.0)
         assert result.mean_utilization == pytest.approx(0.5)
+
+
+class TestStreamingPercentiles:
+    """ClassStats p50/p95/p99 from the inline P² sketches."""
+
+    def test_percentiles_track_completions(self, env):
+        collector = MetricsCollector(node_count=1)
+        for i in range(1, 101):
+            collector.record_unit_completion(
+                finished_unit(env, ar=0.0, completed=float(i), dl=50.0),
+                now=float(i),
+            )
+        stats = collector.snapshot(200.0).local
+        # Responses are exactly 1..100: small-n P² stays close to exact.
+        assert abs(stats.p50_response - 50.0) <= 5.0
+        assert abs(stats.p95_response - 95.0) <= 5.0
+        assert stats.p50_response <= stats.p95_response <= stats.p99_response
+        # Lateness is response - 50 shifted.
+        assert abs(stats.p50_lateness - 0.0) <= 5.0
+
+    def test_empty_percentiles_are_nan_and_snapshots_compare_equal(self):
+        collector = MetricsCollector(node_count=1)
+        a = collector.snapshot(1.0)
+        b = collector.snapshot(1.0)
+        assert math.isnan(a.local.p99_response)
+        # The nan singleton keeps dataclass equality working.
+        assert a == b
+
+    def test_warmup_reset_clears_sketches(self, env):
+        collector = MetricsCollector(node_count=1)
+        collector.record_unit_completion(finished_unit(env), now=2.0)
+        collector.reset(5.0)
+        assert math.isnan(collector.snapshot(10.0).local.p50_response)
+
+
+class TestFromDictTolerance:
+    """Journals written before a field existed must stay loadable."""
+
+    #: A faithful result record from the PR-7-era journal format (before
+    #: the percentile fields landed): ClassStats had through "failed",
+    #: NodeStats through "downtime", RunResult through "retries".
+    PR7_RECORD = {
+        "sim_time": 2500.0,
+        "warmup": 250.0,
+        "per_class": {
+            "local": {
+                "completed": 5136, "missed": 1204, "aborted": 0,
+                "mean_response": 1.783879225470131,
+                "mean_lateness": -0.581420252394006,
+                "mean_waiting": 0.7793337698086901,
+                "failed": 0,
+            },
+            "global": {
+                "completed": 402, "missed": 163, "aborted": 0,
+                "mean_response": 8.579486447843847,
+                "mean_lateness": -0.9237181639001631,
+                "mean_waiting": float("nan"),
+                "failed": 0,
+            },
+        },
+        "per_node": [
+            {
+                "index": 0, "utilization": 0.5153333521237488,
+                "mean_queue_length": 0.4392931486126085,
+                "dispatched": 1155, "preemptions": 0, "crashes": 0,
+                "lost": 0, "downtime": 0.0,
+            },
+        ],
+        "retries": 0,
+    }
+
+    def test_pr7_era_record_loads_with_nan_percentiles(self):
+        from repro.system.metrics import RunResult
+
+        result = RunResult.from_dict(self.PR7_RECORD)
+        assert result.local.completed == 5136
+        assert result.local.failed == 0
+        assert math.isnan(result.local.p99_response)
+        assert math.isnan(result.global_.p50_lateness)
+
+    def test_pre_retries_record_loads(self):
+        from repro.system.metrics import RunResult
+
+        record = {k: v for k, v in self.PR7_RECORD.items() if k != "retries"}
+        assert RunResult.from_dict(record).retries == 0
+
+    def test_pre_fault_node_record_loads(self):
+        from repro.system.metrics import NodeStats
+
+        stats = NodeStats.from_dict({
+            "index": 1, "utilization": 0.5,
+            "mean_queue_length": 0.25, "dispatched": 10,
+        })
+        assert stats.preemptions == 0
+        assert stats.crashes == 0
+        assert stats.lost == 0
+        assert stats.downtime == 0.0
+
+    def test_pre_failed_class_record_loads(self):
+        stats = ClassStats.from_dict({
+            "completed": 5, "missed": 1, "aborted": 0,
+            "mean_response": 1.0, "mean_lateness": -0.5,
+            "mean_waiting": 0.25,
+        })
+        assert stats.failed == 0
+        assert math.isnan(stats.p95_response)
+
+    def test_unknown_future_keys_ignored(self):
+        stats = ClassStats.from_dict({
+            "completed": 5, "missed": 1, "aborted": 0,
+            "mean_response": 1.0, "mean_lateness": -0.5,
+            "mean_waiting": 0.25, "some_future_field": 123,
+        })
+        assert stats.completed == 5
+
+    def test_round_trip_still_exact(self, env):
+        from repro.system.metrics import RunResult
+
+        collector = MetricsCollector(node_count=2)
+        collector.record_unit_completion(finished_unit(env), now=2.0)
+        result = collector.snapshot(10.0)
+        assert RunResult.from_dict(result.to_dict()) == result

@@ -12,7 +12,15 @@ from repro.system.node import Node
 from repro.system.preemptive import PreemptiveNode
 from repro.system.schedulers import EarliestDeadlineFirst
 from repro.system.simulation import Simulation
-from repro.system.tracing import COMPLETE, DISPATCH, PREEMPT, SUBMIT, TraceLog
+from repro.system.tracing import (
+    COMPLETE,
+    DISPATCH,
+    PREEMPT,
+    SUBMIT,
+    JsonlTraceSink,
+    TraceLog,
+    load_trace_events,
+)
 from repro.system.work import WorkUnit
 
 
@@ -161,3 +169,142 @@ class TestSimulationIntegration:
         sim.run()
         classes = {event.task_class for event in sim.trace_log.events}
         assert classes == {"local", "global"}
+
+
+class TestTruncationAccounting:
+    def test_dropped_counts_everything_past_the_cap(self, env):
+        metrics = MetricsCollector(node_count=1)
+        metrics.tracer = TraceLog(limit=4)
+        node = Node(env=env, index=0, policy=EarliestDeadlineFirst(),
+                    metrics=metrics)
+        for i in range(5):
+            submit(env, node, ex=0.5, dl=50.0, name=f"u{i}")
+        env.run()
+        log = metrics.tracer
+        # 5 units x (submit, dispatch, complete) = 15 events, 4 kept.
+        assert len(log) == 4
+        assert log.dropped == 11
+        assert log.truncated
+
+    def test_fresh_log_is_not_truncated(self):
+        log = TraceLog(limit=10)
+        assert not log.truncated
+        assert log.dropped == 0
+
+    def test_render_events_notes_the_drop(self, env, traced_node_small):
+        node, log = traced_node_small
+        for i in range(5):
+            submit(env, node, ex=0.5, dl=50.0, name=f"u{i}")
+        env.run()
+        rendered = log.render_events()
+        assert "trace truncated" in rendered
+        assert f"{log.dropped} events dropped" in rendered
+
+    def test_repr_mentions_truncation(self, env, traced_node_small):
+        node, log = traced_node_small
+        for i in range(5):
+            submit(env, node, ex=0.5, dl=50.0, name=f"u{i}")
+        env.run()
+        assert "truncated" in repr(log)
+        assert str(log.dropped) in repr(log)
+
+    def test_untruncated_render_has_no_note(self, env, traced_node):
+        node, log = traced_node
+        submit(env, node, ex=1.0, dl=5.0, name="a")
+        env.run()
+        assert "truncated" not in log.render_events()
+        assert "truncated" not in repr(log)
+
+
+@pytest.fixture
+def traced_node_small(env):
+    metrics = MetricsCollector(node_count=1)
+    metrics.tracer = TraceLog(limit=4)
+    node = Node(env=env, index=0, policy=EarliestDeadlineFirst(),
+                metrics=metrics)
+    return node, metrics.tracer
+
+
+class TestJsonlTraceSink:
+    def test_records_full_lifecycle_to_disk(self, env, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        metrics = MetricsCollector(node_count=1)
+        metrics.tracer = JsonlTraceSink(path)
+        node = Node(env=env, index=0, policy=EarliestDeadlineFirst(),
+                    metrics=metrics)
+        submit(env, node, ex=2.0, dl=10.0, name="a")
+        env.run()
+        metrics.tracer.close()
+        events = load_trace_events(path)
+        assert [e.kind for e in events] == [SUBMIT, DISPATCH, COMPLETE]
+        complete = events[-1]
+        assert complete.time == 2.0
+        assert complete.unit_name == "a"
+        assert complete.node_index == 0
+        assert complete.task_class == "local"
+        assert complete.deadline == 10.0
+
+    def test_unknown_kind_rejected(self, env, tmp_path):
+        metrics = MetricsCollector(node_count=1)
+        sink = JsonlTraceSink(tmp_path / "trace.jsonl")
+        metrics.tracer = sink
+        node = Node(env=env, index=0, policy=EarliestDeadlineFirst(),
+                    metrics=metrics)
+        unit = submit(env, node, ex=1.0, dl=5.0, name="a")
+        with pytest.raises(ValueError):
+            sink.record(0.0, "explode", unit, 0)
+
+    def test_no_cap_unlike_trace_log(self, env, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        metrics = MetricsCollector(node_count=1)
+        metrics.tracer = JsonlTraceSink(path)
+        node = Node(env=env, index=0, policy=EarliestDeadlineFirst(),
+                    metrics=metrics)
+        for i in range(40):
+            submit(env, node, ex=0.1, dl=500.0, name=f"u{i}")
+        env.run()
+        metrics.tracer.close()
+        assert len(load_trace_events(path)) == 120  # 40 x 3 lifecycle events
+
+    def test_len_and_repr(self, env, tmp_path):
+        sink = JsonlTraceSink(tmp_path / "trace.jsonl")
+        assert len(sink) == 0
+        assert "written=0" in repr(sink)
+        metrics = MetricsCollector(node_count=1)
+        metrics.tracer = sink
+        node = Node(env=env, index=0, policy=EarliestDeadlineFirst(),
+                    metrics=metrics)
+        submit(env, node, ex=1.0, dl=5.0, name="a")
+        env.run()
+        assert len(sink) == 3
+
+    def test_pickle_reopens_appending(self, env, tmp_path):
+        import pickle
+
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlTraceSink(path)
+        metrics = MetricsCollector(node_count=1)
+        metrics.tracer = sink
+        node = Node(env=env, index=0, policy=EarliestDeadlineFirst(),
+                    metrics=metrics)
+        unit = submit(env, node, ex=1.0, dl=5.0, name="a")
+        env.run()
+        clone = pickle.loads(pickle.dumps(sink))
+        sink.close()
+        clone.record(9.0, COMPLETE, unit, 0)
+        clone.close()
+        events = load_trace_events(path)
+        assert len(events) == 4
+        assert events[-1].time == 9.0
+
+    def test_attaches_to_a_full_simulation(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        config = baseline_config(sim_time=100.0, warmup_time=0.0, seed=5)
+        simulation = Simulation(config)
+        simulation.metrics.tracer = JsonlTraceSink(path)
+        result = simulation.run()
+        simulation.metrics.tracer.close()
+        events = load_trace_events(path)
+        assert len(events) > 0
+        completes = [e for e in events if e.kind == COMPLETE]
+        assert len(completes) >= result.local.completed

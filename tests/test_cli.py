@@ -231,3 +231,130 @@ class TestSweepJournalFlags:
         other = self._BASE[:-1] + ["18", "--journal", journal]
         assert main(other) == 2
         assert "different sweep" in capsys.readouterr().err
+
+
+class TestSimulateMetricsFlags:
+    _BASE = [
+        "simulate", "--strategy", "EQF",
+        "--sim-time", "600", "--warmup", "60", "--seed", "42",
+    ]
+
+    def test_metrics_out_writes_series_and_output_unchanged(
+        self, capsys, tmp_path
+    ):
+        assert main(self._BASE) == 0
+        plain = capsys.readouterr().out
+        path = str(tmp_path / "m.jsonl")
+        assert main(
+            self._BASE
+            + ["--metrics-out", path, "--metrics-every-events", "500"]
+        ) == 0
+        captured = capsys.readouterr()
+        assert captured.out == plain  # emission is invisible to the table
+        assert f"metrics series: " in captured.err
+
+        from repro.system.emission import read_metrics_series
+
+        records = read_metrics_series(path)
+        assert records[0]["type"] == "header"
+        assert records[-1]["type"] == "final"
+
+    def test_table_prints_percentiles(self, capsys):
+        assert main(self._BASE) == 0
+        out = capsys.readouterr().out
+        assert "global p99 response" in out
+        assert "global p99 lateness" in out
+
+    def test_trigger_flags_without_path_fail_cleanly(self, capsys):
+        assert main(["simulate", "--metrics-every-events", "10"]) == 2
+        assert "--metrics-out PATH" in capsys.readouterr().err
+
+    def test_default_event_trigger_when_only_path_given(
+        self, capsys, tmp_path
+    ):
+        path = str(tmp_path / "m.jsonl")
+        assert main(self._BASE + ["--metrics-out", path]) == 0
+        capsys.readouterr()
+        from repro.system.emission import read_metrics_series
+
+        # Default cadence is coarse (100k events), so a short run still
+        # produces a valid header + final pair.
+        records = read_metrics_series(path)
+        assert records[0]["type"] == "header"
+        assert records[-1]["type"] == "final"
+
+
+class TestMetricsVerb:
+    def _write_series(self, tmp_path):
+        path = str(tmp_path / "m.jsonl")
+        assert main([
+            "simulate", "--strategy", "EQF",
+            "--sim-time", "600", "--warmup", "60", "--seed", "42",
+            "--metrics-out", path, "--metrics-every-events", "300",
+        ]) == 0
+        return path
+
+    def test_tail(self, capsys, tmp_path):
+        path = self._write_series(tmp_path)
+        capsys.readouterr()
+        assert main(["metrics", "tail", path]) == 0
+        out = capsys.readouterr().out
+        assert "MD_global" in out
+        assert "p99_resp" in out
+
+    def test_summarize(self, capsys, tmp_path):
+        path = self._write_series(tmp_path)
+        capsys.readouterr()
+        assert main(["metrics", "summarize", path]) == 0
+        out = capsys.readouterr().out
+        assert "seed=42" in out
+        assert "final:" in out
+
+    def test_missing_file_fails_cleanly(self, capsys, tmp_path):
+        assert main(
+            ["metrics", "tail", str(tmp_path / "absent.jsonl")]
+        ) == 2
+        assert "no such metrics series" in capsys.readouterr().err
+
+    def test_junk_file_fails_cleanly(self, capsys, tmp_path):
+        bogus = tmp_path / "bogus.jsonl"
+        bogus.write_text('{"type": "interval"}\n')
+        assert main(["metrics", "summarize", str(bogus)]) == 2
+        assert capsys.readouterr().err  # explains the rejection
+
+
+class TestScenarioRunMetricsFlag:
+    _BASE = [
+        "scenarios", "run", "baseline",
+        "--scale", "smoke", "--seed", "17",
+    ]
+
+    def test_metrics_out_report_matches_plain_run(self, capsys, tmp_path):
+        assert main(self._BASE) == 0
+        plain = capsys.readouterr().out
+        path = str(tmp_path / "m.jsonl")
+        assert main(self._BASE + ["--metrics-out", path]) == 0
+        captured = capsys.readouterr()
+        assert captured.out == plain  # serial in-process run, same numbers
+        from repro.system.emission import read_metrics_series
+
+        assert read_metrics_series(path)[-1]["type"] == "final"
+
+    def test_metrics_out_rejects_journal(self, capsys, tmp_path):
+        assert main(
+            self._BASE
+            + ["--metrics-out", str(tmp_path / "m.jsonl"),
+               "--journal", str(tmp_path / "j.json")]
+        ) == 2
+        assert "--journal" in capsys.readouterr().err
+
+    def test_report_has_p99_lateness_row(self, capsys):
+        assert main(self._BASE) == 0
+        assert "global p99 lateness" in capsys.readouterr().out
+
+    def test_sweep_report_has_p99_late_column(self, capsys):
+        assert main([
+            "scenarios", "sweep", "--scenario", "baseline",
+            "--strategies", "UD", "EQF", "--scale", "smoke", "--seed", "17",
+        ]) == 0
+        assert "p99_late" in capsys.readouterr().out
