@@ -40,6 +40,13 @@ BENCH_CORE_JSON = Path(__file__).parent.parent / "BENCH_core.json"
 #: tree; same contract as ``BENCH_kernel.json``.
 BENCH_OBS_JSON = Path(__file__).parent.parent / "BENCH_obs.json"
 
+#: Machine-readable record of the fleet-scale benchmarks
+#: (``bench_fleet.py``): per-event event-loop cost at node counts from
+#: 10 to 100,000 for the least-outstanding and zipf placements, written
+#: directly (no pytest-benchmark fixture) so the scaling cells land even
+#: under ``--benchmark-disable``.
+BENCH_FLEET_JSON = Path(__file__).parent.parent / "BENCH_fleet.json"
+
 
 def save_artifact(name: str, text: str) -> Path:
     """Write a rendered table/chart to ``benchmarks/results/<name>.txt``."""

@@ -225,6 +225,34 @@ CHURN_PREEMPTIVE = ScenarioSpec(
     base={"preemptive": True},
 )
 
+#: Fleet scale: 10,000 nodes fed purely by the global stream (no local
+#: sources), exercising the array-backed node state, pooled work units,
+#: and O(log n) placement at fleet cardinality.  The load keeps the
+#: *global* task rate modest (load * k * mu / E[m] = 5 tasks per time
+#: unit) so runs stay quick while every per-node structure carries the
+#: full node count.
+FLEET_UNIFORM = ScenarioSpec(
+    name="fleet-uniform",
+    description=(
+        "Fleet scale: 10,000 nodes, global-only load, uniform placement."
+    ),
+    base={"node_count": 10_000, "frac_local": 0.0, "load": 0.002},
+)
+
+#: Fleet scale with a Zipf hotspot: over 10k nodes at s=1.2, node 0
+#: absorbs ~21% of all subtasks, so the load is set where the hottest
+#: node stays clearly stable (utilization_0 ~ 0.21 * load * k / 1 ~ 0.63)
+#: while 10,000 nodes' worth of placement state is exercised.
+FLEET_SKEWED = ScenarioSpec(
+    name="fleet-skewed",
+    description=(
+        "Fleet scale: 10,000 nodes, Zipf-skewed placement (s=1.2), "
+        "global-only load sized for a stable hotspot."
+    ),
+    placement=PlacementSpec(model="zipf", zipf_s=1.2),
+    base={"node_count": 10_000, "frac_local": 0.0, "load": 0.0003},
+)
+
 #: The firm-deadline overload policy as a scenario dimension: tardy work
 #: is discarded at dispatch instead of completing late.
 FIRM_OVERLOAD = ScenarioSpec(
@@ -257,5 +285,7 @@ LIBRARY: Tuple[ScenarioSpec, ...] = (
     OUTAGE_BURST,
     LOSSY_RECOVERY,
     CHURN_PREEMPTIVE,
+    FLEET_UNIFORM,
+    FLEET_SKEWED,
     FIRM_OVERLOAD,
 )

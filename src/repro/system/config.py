@@ -191,11 +191,20 @@ class SystemConfig:
     # -- validation ------------------------------------------------------------
 
     def __post_init__(self) -> None:
-        if self.node_count < 1:
-            raise ValueError(f"node_count must be >= 1, got {self.node_count}")
-        if self.subtask_count < 1:
+        # Fleet-scale configs (10^4 - 10^5 nodes) are first-class:
+        # validation stays O(1) in the node count except where a
+        # per-node tuple (speeds, weights) is actually supplied.  The
+        # strict int check matters at that scale -- a float node count
+        # (e.g. 1e5) would slip past a ``< 1`` bound and break every
+        # ``range(node_count)`` downstream.
+        if not isinstance(self.node_count, int) or self.node_count < 1:
             raise ValueError(
-                f"subtask_count must be >= 1, got {self.subtask_count}"
+                f"node_count must be an int >= 1, got {self.node_count!r}"
+            )
+        if not isinstance(self.subtask_count, int) or self.subtask_count < 1:
+            raise ValueError(
+                f"subtask_count must be an int >= 1, got "
+                f"{self.subtask_count!r}"
             )
         if not 0.0 <= self.load < 1.0:
             raise ValueError(f"load must lie in [0, 1), got {self.load}")

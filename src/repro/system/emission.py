@@ -35,7 +35,11 @@ from typing import Any, Dict, List, Optional
 
 from ..checkpoint import CheckpointError, JsonlAppender, read_jsonl
 from ..sim.core import KERNEL
-from .metrics import DEFAULT_WINDOW_TAU, RunResult
+from .metrics import (
+    DEFAULT_WINDOW_TAU,
+    PER_NODE_DETAIL_THRESHOLD,
+    RunResult,
+)
 
 #: First record's magic field in every metrics series file.
 METRICS_MAGIC = "repro-metrics"
@@ -89,6 +93,13 @@ class MetricsEmitter:
         self.policy = policy
         self.simulation = simulation
         self.intervals = 0
+        #: Fleet-size runs aggregate per-node detail into the bounded
+        #: ``node_summary`` form, so interval records stay O(1) in the
+        #: node count; below the threshold every record keeps the exact
+        #: historical per-node lists (pinned byte-identical by CI).
+        self._aggregate_nodes = (
+            simulation.config.node_count > PER_NODE_DETAIL_THRESHOLD
+        )
         self._appender = JsonlAppender(policy.path)
         self._window = simulation.metrics.enable_windows(
             tau=policy.tau, now=simulation.env.now
@@ -123,12 +134,17 @@ class MetricsEmitter:
         simulation = self.simulation
         self.intervals += 1
         snapshot = simulation.metrics.snapshot(simulation.env.now)
-        self._record("interval", snapshot.to_dict())
+        self._record(
+            "interval", snapshot.to_dict(aggregate_nodes=self._aggregate_nodes)
+        )
 
     def emit_final(self, result: RunResult) -> None:
         """Write the closing record; its ``cumulative`` is exactly
-        ``result.to_dict()`` of the run's returned :class:`RunResult`."""
-        self._record("final", result.to_dict())
+        ``result.to_dict()`` of the run's returned :class:`RunResult`
+        (aggregated-nodes form above the per-node detail threshold)."""
+        self._record(
+            "final", result.to_dict(aggregate_nodes=self._aggregate_nodes)
+        )
         self._appender.close()
 
 

@@ -277,12 +277,16 @@ class LiveSet:
     construction.
     """
 
-    __slots__ = ("_up", "live_count", "node_count")
+    __slots__ = ("_up", "live_count", "node_count", "version")
 
     def __init__(self, node_count: int) -> None:
         self._up: List[bool] = [True] * node_count
         self.live_count = node_count
         self.node_count = node_count
+        #: Bumped on every actual up/down flip; cheap change detection
+        #: for caches built over the live membership (e.g. the Zipf
+        #: alias table rebuilds only when this moves).
+        self.version = 0
 
     def __contains__(self, index: int) -> bool:
         return self._up[index]
@@ -291,11 +295,13 @@ class LiveSet:
         if self._up[index]:
             self._up[index] = False
             self.live_count -= 1
+            self.version += 1
 
     def mark_up(self, index: int) -> None:
         if not self._up[index]:
             self._up[index] = True
             self.live_count += 1
+            self.version += 1
 
     def live_indices(self) -> List[int]:
         """Indices of the nodes currently up, ascending."""

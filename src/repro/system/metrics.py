@@ -20,8 +20,9 @@ from dataclasses import asdict, dataclass
 from typing import Any, Dict, List, Optional
 
 from ..core.task import TaskClass
-from ..sim.monitor import DecayedMean, DecayedRate, MeanTally, TimeWeighted
+from ..sim.monitor import DecayedMean, DecayedRate, MeanTally
 from ..sim.sketch import QuantileSketch
+from .fleet import FleetState, SignalViews
 from .work import WorkUnit
 
 #: The singleton ``nan`` used for "no observations" fields.  One shared
@@ -30,6 +31,14 @@ from .work import WorkUnit
 #: when both carry *this* object (as :class:`MeanTally`/``QuantileSketch``
 #: guarantee by returning ``math.nan`` itself).
 _NAN = math.nan
+
+#: Above this node count, per-node detail is dropped from emitted
+#: reports (``RunResult.to_dict(aggregate_nodes=True)``) and from the
+#: windowed per-node signals: a 100k-node interval record would
+#: otherwise serialize 100k dicts per emission.  In-process snapshots
+#: always keep full per-node stats; only serialized/streamed forms and
+#: the windowed per-node detail are bounded.
+PER_NODE_DETAIL_THRESHOLD = 256
 
 
 @dataclass(frozen=True)
@@ -149,6 +158,11 @@ class RunResult:
     #: Leaf resubmissions by the process manager's retry layer within the
     #: measured window (0 unless a retry-enabled :class:`FaultSpec` is set).
     retries: int = 0
+    #: Aggregated node statistics, present on results loaded from records
+    #: written with ``to_dict(aggregate_nodes=True)`` (fleet-size runs
+    #: drop per-node detail from serialized forms).  ``None`` on results
+    #: snapshotted in-process, which keep full :attr:`per_node` detail.
+    node_summary: Optional[Dict[str, Any]] = None
 
     @property
     def local(self) -> ClassStats:
@@ -182,6 +196,8 @@ class RunResult:
         :attr:`mean_active_utilization`.
         """
         if not self.per_node:
+            if self.node_summary:
+                return self.node_summary.get("utilization_mean", float("nan"))
             return float("nan")
         return sum(n.utilization for n in self.per_node) / len(self.per_node)
 
@@ -193,6 +209,10 @@ class RunResult:
         :attr:`mean_utilization` in fault-free runs.
         """
         if not self.per_node:
+            if self.node_summary:
+                return self.node_summary.get(
+                    "active_utilization_mean", float("nan")
+                )
             return float("nan")
         total = 0.0
         for n in self.per_node:
@@ -204,41 +224,107 @@ class RunResult:
     def mean_availability(self) -> float:
         """Average fraction of the window nodes were up (1.0 fault-free)."""
         if not self.per_node:
+            if self.node_summary:
+                return 1.0 - self.node_summary.get("downtime_mean", 0.0)
             return float("nan")
         return 1.0 - sum(n.downtime for n in self.per_node) / len(self.per_node)
 
     @property
     def total_preemptions(self) -> int:
         """Preemption events across all nodes in the measured window."""
+        if not self.per_node and self.node_summary:
+            return self.node_summary.get("preemptions", 0)
         return sum(n.preemptions for n in self.per_node)
 
     @property
     def total_crashes(self) -> int:
         """Crash events across all nodes in the measured window."""
+        if not self.per_node and self.node_summary:
+            return self.node_summary.get("crashes", 0)
         return sum(n.crashes for n in self.per_node)
 
     @property
     def total_lost(self) -> int:
         """Crash-discarded work units across all nodes in the window."""
+        if not self.per_node and self.node_summary:
+            return self.node_summary.get("lost", 0)
         return sum(n.lost for n in self.per_node)
 
-    def to_dict(self) -> Dict[str, Any]:
+    @staticmethod
+    def _summarize_nodes(per_node: List[NodeStats]) -> Dict[str, Any]:
+        """Fold per-node detail into the bounded aggregate record."""
+        count = len(per_node)
+        if count == 0:
+            return {"count": 0}
+        util_sum = 0.0
+        util_min = math.inf
+        util_max = -math.inf
+        active_sum = 0.0
+        queue_sum = 0.0
+        downtime_sum = 0.0
+        dispatched = preemptions = crashes = lost = 0
+        for n in per_node:
+            util = n.utilization
+            util_sum += util
+            if util < util_min:
+                util_min = util
+            if util > util_max:
+                util_max = util
+            uptime = 1.0 - n.downtime
+            active_sum += util / uptime if uptime > 0.0 else 0.0
+            queue_sum += n.mean_queue_length
+            downtime_sum += n.downtime
+            dispatched += n.dispatched
+            preemptions += n.preemptions
+            crashes += n.crashes
+            lost += n.lost
+        return {
+            "count": count,
+            "utilization_mean": util_sum / count,
+            "utilization_min": util_min,
+            "utilization_max": util_max,
+            "active_utilization_mean": active_sum / count,
+            "queue_length_mean": queue_sum / count,
+            "downtime_mean": downtime_sum / count,
+            "dispatched": dispatched,
+            "preemptions": preemptions,
+            "crashes": crashes,
+            "lost": lost,
+        }
+
+    def to_dict(self, aggregate_nodes: bool = False) -> Dict[str, Any]:
         """JSON-serializable form; exact inverse of :meth:`from_dict`.
 
         Floats survive a ``json.dumps``/``loads`` round-trip bit for bit
         (``repr`` round-trips doubles, and ``nan`` is emitted as the
         ``NaN`` literal), so a journaled result equals the original.
+
+        ``aggregate_nodes=True`` is the fleet-size form: per-node detail
+        is replaced by one bounded ``node_summary`` dict (means/extrema
+        of utilization, total dispatch/crash/loss counts), so a 100k-node
+        record serializes in O(1) instead of O(n).  The default emits the
+        exact historical record, byte for byte.
         """
-        return {
+        per_node: List[Dict[str, Any]] = (
+            [] if aggregate_nodes
+            else [stats.to_dict() for stats in self.per_node]
+        )
+        data = {
             "sim_time": self.sim_time,
             "warmup": self.warmup,
             "per_class": {
                 name: stats.to_dict()
                 for name, stats in self.per_class.items()
             },
-            "per_node": [stats.to_dict() for stats in self.per_node],
+            "per_node": per_node,
             "retries": self.retries,
         }
+        summary = self.node_summary
+        if aggregate_nodes and summary is None:
+            summary = self._summarize_nodes(self.per_node)
+        if summary is not None:
+            data["node_summary"] = summary
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "RunResult":
@@ -255,6 +341,7 @@ class RunResult:
                 NodeStats.from_dict(stats) for stats in data["per_node"]
             ],
             retries=data.get("retries", 0),
+            node_summary=data.get("node_summary"),
         )
 
 
@@ -392,26 +479,31 @@ class WindowedSignals:
     invisible to the golden determinism gate.
     """
 
-    __slots__ = ("tau", "local", "global_", "nodes", "_queue_signals")
+    __slots__ = ("tau", "local", "global_", "nodes", "_queue_values")
 
     def __init__(
         self,
         node_count: int,
         tau: float = DEFAULT_WINDOW_TAU,
         start_time: float = 0.0,
-        queue_signals: Optional[List[TimeWeighted]] = None,
+        queue_values: Optional[List[float]] = None,
     ) -> None:
         if not tau > 0:
             raise ValueError(f"tau must be positive, got {tau}")
         self.tau = tau
         self.local = _ClassWindow(tau, "local", start_time)
         self.global_ = _ClassWindow(tau, "global", start_time)
-        self.nodes = [
-            _NodeWindow(tau, i, start_time) for i in range(node_count)
-        ]
-        #: The collector's live queue-length signals, sampled for the
-        #: decayed queue-depth estimate (may be None standalone).
-        self._queue_signals = queue_signals
+        #: Per-node decayed signals -- dropped entirely past the fleet
+        #: threshold, where 100k ``_NodeWindow`` objects would dominate
+        #: collector memory and every interval snapshot.
+        self.nodes = (
+            [] if node_count > PER_NODE_DETAIL_THRESHOLD
+            else [_NodeWindow(tau, i, start_time) for i in range(node_count)]
+        )
+        #: The collector's live queue-length array (``FleetState.queue_value``),
+        #: sampled for the decayed queue-depth estimate (may be None
+        #: standalone).
+        self._queue_values = queue_values
 
     def record_unit(self, unit: WorkUnit, now: Optional[float]) -> None:
         """Fold one finished work unit (any class) into the signals."""
@@ -425,13 +517,13 @@ class WindowedSignals:
                 self.local.record(1.0, None, now)
             return
         completed_at = timing.completed_at
-        node = self.nodes[unit.node_index]
-        node.throughput.tick(completed_at)
-        signals = self._queue_signals
-        if signals is not None:
-            node.queue.observe(
-                signals[unit.node_index]._value, completed_at
-            )
+        nodes = self.nodes
+        if nodes:
+            node = nodes[unit.node_index]
+            node.throughput.tick(completed_at)
+            values = self._queue_values
+            if values is not None:
+                node.queue.observe(values[unit.node_index], completed_at)
         if unit.task_class is _LOCAL:
             self.local.record(
                 1.0 if completed_at > timing.dl else 0.0,
@@ -477,27 +569,30 @@ class MetricsCollector:
         # Bound once: accumulators are reset in place, never replaced.
         self._local_acc = self._classes[TaskClass.LOCAL]
         self._global_acc = self._classes[TaskClass.GLOBAL]
-        self.node_busy: List[TimeWeighted] = [
-            TimeWeighted(f"node-{i}/busy") for i in range(node_count)
-        ]
-        self.node_queue: List[TimeWeighted] = [
-            TimeWeighted(f"node-{i}/queue") for i in range(node_count)
-        ]
-        self.node_dispatched: List[int] = [0] * node_count
+        #: Flat array-backed per-node state: one owner for every hot
+        #: counter, so a 100k-node collector is 22 list allocations
+        #: instead of 300k ``TimeWeighted`` objects.  Node server loops
+        #: bind and mutate the raw lists; the ``node_busy`` /
+        #: ``node_queue`` / ``node_down`` attributes below are
+        #: ``TimeWeighted``-compatible views for the cold paths.
+        self.fleet = FleetState(node_count)
+        self.node_busy = SignalViews(self.fleet, "busy")
+        self.node_queue = SignalViews(self.fleet, "queue")
+        #: Per-node event counters -- aliases of the ``FleetState`` lists
+        #: (reset happens in place; node server loops hold references).
+        self.node_dispatched: List[int] = self.fleet.dispatched
         #: Per-node preemption counts (preemptive nodes increment their
         #: slot inline; reset at warm-up like ``node_dispatched``).
-        self.node_preemptions: List[int] = [0] * node_count
+        self.node_preemptions: List[int] = self.fleet.preemptions
         #: Per-node crash counts (incremented by the fault injector).
-        self.node_crashes: List[int] = [0] * node_count
+        self.node_crashes: List[int] = self.fleet.crashes
         #: Per-node crash-discarded unit counts (incremented by the nodes'
         #: ``_discard_lost``).
-        self.node_lost: List[int] = [0] * node_count
+        self.node_lost: List[int] = self.fleet.lost
         #: Per-node 0/1 down signal (1.0 while crashed); ``reset`` keeps
         #: the current value, so a node down across the warm-up boundary
         #: keeps accruing downtime in the measured window.
-        self.node_down: List[TimeWeighted] = [
-            TimeWeighted(f"node-{i}/down") for i in range(node_count)
-        ]
+        self.node_down = SignalViews(self.fleet, "down")
         #: Leaf resubmissions by the process manager's retry layer.
         self.retries = 0
         self._warmup_end = 0.0
@@ -543,10 +638,10 @@ class MetricsCollector:
         window = self._window
         if window is None or window.tau != tau:
             window = WindowedSignals(
-                node_count=len(self.node_busy),
+                node_count=self.fleet.node_count,
                 tau=tau,
                 start_time=now,
-                queue_signals=self.node_queue,
+                queue_values=self.fleet.queue_value,
             )
             self._window = window
         return window
@@ -663,19 +758,11 @@ class MetricsCollector:
         """Discard the transient phase; statistics restart at ``now``."""
         for acc in self._classes.values():
             acc.reset()
-        for signal in self.node_busy:
-            signal.reset(now)
-        for signal in self.node_queue:
-            signal.reset(now)
+        # Signal resets keep the current value: a node busy -- or down --
+        # across the warm-up boundary stays so in the measured window.
+        self.fleet.reset_signals(now)
         # In place: node server loops hold references to these lists.
-        self.node_dispatched[:] = [0] * len(self.node_dispatched)
-        self.node_preemptions[:] = [0] * len(self.node_preemptions)
-        self.node_crashes[:] = [0] * len(self.node_crashes)
-        self.node_lost[:] = [0] * len(self.node_lost)
-        # TimeWeighted.reset keeps the current value: a node down across
-        # the warm-up boundary stays down in the measured window.
-        for signal in self.node_down:
-            signal.reset(now)
+        self.fleet.reset_counters()
         self.retries = 0
         self._warmup_end = now
         if self._window is not None:
@@ -683,19 +770,54 @@ class MetricsCollector:
 
     def snapshot(self, now: float) -> RunResult:
         """Freeze current statistics into a :class:`RunResult`."""
-        per_node = [
-            NodeStats(
+        fleet = self.fleet
+        b_value, b_area, b_last, b_start = (
+            fleet.busy_value, fleet.busy_area, fleet.busy_last,
+            fleet.busy_start,
+        )
+        q_value, q_area, q_last, q_start = (
+            fleet.queue_value, fleet.queue_area, fleet.queue_last,
+            fleet.queue_start,
+        )
+        d_value, d_area, d_last, d_start = (
+            fleet.down_value, fleet.down_area, fleet.down_last,
+            fleet.down_start,
+        )
+        per_node = []
+        for i in range(fleet.node_count):
+            # Inlined ``TimeWeighted.mean_at`` per signal (identical
+            # arithmetic; ``_NAN`` is the shared empty-window singleton).
+            elapsed = now - b_start[i]
+            if elapsed <= 0:
+                utilization = _NAN
+            else:
+                utilization = (
+                    b_area[i] + b_value[i] * (now - b_last[i])
+                ) / elapsed
+            elapsed = now - q_start[i]
+            if elapsed <= 0:
+                mean_queue = _NAN
+            else:
+                mean_queue = (
+                    q_area[i] + q_value[i] * (now - q_last[i])
+                ) / elapsed
+            elapsed = now - d_start[i]
+            if elapsed <= 0:
+                downtime = _NAN
+            else:
+                downtime = (
+                    d_area[i] + d_value[i] * (now - d_last[i])
+                ) / elapsed
+            per_node.append(NodeStats(
                 index=i,
-                utilization=self.node_busy[i].mean_at(now),
-                mean_queue_length=self.node_queue[i].mean_at(now),
-                dispatched=self.node_dispatched[i],
-                preemptions=self.node_preemptions[i],
-                crashes=self.node_crashes[i],
-                lost=self.node_lost[i],
-                downtime=self.node_down[i].mean_at(now),
-            )
-            for i in range(len(self.node_busy))
-        ]
+                utilization=utilization,
+                mean_queue_length=mean_queue,
+                dispatched=fleet.dispatched[i],
+                preemptions=fleet.preemptions[i],
+                crashes=fleet.crashes[i],
+                lost=fleet.lost[i],
+                downtime=downtime,
+            ))
         per_class = {
             cls.value: acc.snapshot() for cls, acc in self._classes.items()
         }

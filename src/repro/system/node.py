@@ -76,8 +76,27 @@ class Node:
         self._frozen_left = -1.0  # >= 0 while a frozen unit awaits recovery
         self._lose_in_flight = True
         self._drop_queued = False
-        self._queue_signal = metrics.node_queue[index]
-        self._busy_signal = metrics.node_busy[index]
+        # The flat per-node signal arrays (FleetState), bound once: the
+        # hot loops below update them with the exact arithmetic the old
+        # inlined TimeWeighted updates performed, minus the per-signal
+        # object indirection.
+        fleet = metrics.fleet
+        self._fleet = fleet
+        self._q_value = fleet.queue_value
+        self._q_area = fleet.queue_area
+        self._q_last = fleet.queue_last
+        self._q_min = fleet.queue_min
+        self._q_max = fleet.queue_max
+        self._b_value = fleet.busy_value
+        self._b_area = fleet.busy_area
+        self._b_last = fleet.busy_last
+        self._b_min = fleet.busy_min
+        self._b_max = fleet.busy_max
+        #: Outstanding-count change hook (``None`` keeps the hot path at
+        #: one pointer check, the tracer discipline).  An incremental
+        #: placement policy (least-outstanding) binds this to learn of
+        #: every submit/complete/crash/recover without scanning nodes.
+        self._outstanding_listener = None
         # Ready-queue internals and callback methods, bound once: pushes,
         # dispatches and completions run once per unit, and bound-method
         # creation alone is measurable at that rate.
@@ -137,19 +156,23 @@ class Node:
             ),
         )
         now = self.env._now
-        # Inlined self._queue_signal.increment(1, now): kernel time is
-        # monotone, and a +1 step can raise only the maximum.
-        signal = self._queue_signal
-        old = signal._value
-        signal._area += old * (now - signal._last_time)
-        signal._last_time = now
+        index = self.index
+        # Inlined queue increment(1, now) against the flat arrays: kernel
+        # time is monotone, and a +1 step can raise only the maximum.
+        q_value = self._q_value
+        old = q_value[index]
+        self._q_area[index] += old * (now - self._q_last[index])
+        self._q_last[index] = now
         value = old + 1.0
-        signal._value = value
-        if value > signal.max:
-            signal.max = value
+        q_value[index] = value
+        if value > self._q_max[index]:
+            self._q_max[index] = value
         metrics = self.metrics
         if metrics._tracer is not None:
-            metrics._tracer.record(now, "submit", unit, self.index)
+            metrics._tracer.record(now, "submit", unit, index)
+        listener = self._outstanding_listener
+        if listener is not None:
+            listener(index)
         # Wake the idle server.  The dispatch is deferred by one urgent
         # event rather than run synchronously so that submissions landing
         # at the same simulation instant are scheduled as a batch -- the
@@ -196,20 +219,23 @@ class Node:
         env = self.env
         index = self.index
         metrics = self.metrics
-        queue_signal = self._queue_signal
+        q_value = self._q_value
+        q_area = self._q_area
+        q_last = self._q_last
+        q_min = self._q_min
         abort_check = self._abort_check
         while heap:
             unit = heappop(heap)[3]
             now = env._now
-            # Inlined queue_signal.increment(-1, now): a -1 step can lower
-            # only the minimum.
-            old = queue_signal._value
-            queue_signal._area += old * (now - queue_signal._last_time)
-            queue_signal._last_time = now
+            # Inlined queue increment(-1, now): a -1 step can lower only
+            # the minimum.
+            old = q_value[index]
+            q_area[index] += old * (now - q_last[index])
+            q_last[index] = now
             qlen = old - 1.0
-            queue_signal._value = qlen
-            if qlen < queue_signal.min:
-                queue_signal.min = qlen
+            q_value[index] = qlen
+            if qlen < q_min[index]:
+                q_min[index] = qlen
             metrics.node_dispatched[index] += 1
             timing = unit.timing
 
@@ -218,6 +244,9 @@ class Node:
                 if metrics._tracer is not None:
                     metrics._tracer.record(now, "abort", unit, index)
                 metrics.record_unit_completion(unit, now)
+                listener = self._outstanding_listener
+                if listener is not None:
+                    listener(index)
                 done = unit._done
                 if done is not None:
                     done.succeed(unit)
@@ -226,17 +255,20 @@ class Node:
                     env._schedule_call(
                         on_done, value=unit, priority=NORMAL
                     )
+                elif done is None and unit.pool is not None:
+                    # Fire-and-forget unit with no waiters: recycle.
+                    unit.release()
                 continue
 
             self._busy = True
             self._serving = unit
-            busy = self._busy_signal
-            # Inlined busy.update(1, now): the 0 -> 1 edge adds no area
-            # (the signal was 0), so only the bookkeeping fields move.
-            busy._last_time = now
-            busy._value = 1.0
-            if busy.max < 1.0:
-                busy.max = 1.0
+            # Inlined busy update(1, now) against the flat arrays: the
+            # 0 -> 1 edge adds no area (the signal was 0), so only the
+            # bookkeeping fields move.
+            self._b_last[index] = now
+            self._b_value[index] = 1.0
+            if self._b_max[index] < 1.0:
+                self._b_max[index] = 1.0
             timing.started_at = now
             if metrics._tracer is not None:
                 metrics._tracer.record(now, "dispatch", unit, index)
@@ -275,17 +307,19 @@ class Node:
         timing = unit.timing
         timing.completed_at = now
         self._busy = False
-        busy = self._busy_signal
-        # Inlined busy.update(0, now): the 1 -> 0 edge accumulates one
+        # Inlined busy update(0, now): the 1 -> 0 edge accumulates one
         # service interval of area (1.0 * dt == dt exactly).
-        busy._area += now - busy._last_time
-        busy._last_time = now
-        busy._value = 0.0
-        if busy.min > 0.0:
-            busy.min = 0.0
+        self._b_area[index] += now - self._b_last[index]
+        self._b_last[index] = now
+        self._b_value[index] = 0.0
+        if self._b_min[index] > 0.0:
+            self._b_min[index] = 0.0
         if metrics._tracer is not None:
             metrics._tracer.record(now, "complete", unit, index)
         metrics.record_unit_completion(unit, now)
+        listener = self._outstanding_listener
+        if listener is not None:
+            listener(index)
         done = unit._done
         if done is not None:
             done.succeed(unit)
@@ -295,6 +329,10 @@ class Node:
             # slot) so the continuation cannot reorder the node's own
             # next dispatch or any other same-instant event.
             env._schedule_call(on_done, value=unit, priority=NORMAL)
+        elif done is None and unit.pool is not None:
+            # Fire-and-forget unit with no waiters: recycle.  The tracer
+            # and metrics copied everything they need above.
+            unit.release()
         self._dispatch_next()
 
     # -- fault machinery ------------------------------------------------------
@@ -323,18 +361,18 @@ class Node:
         self._up = False
         env = self.env
         now = env._now
+        index = self.index
         if self._busy:
             self._sleep.cancel()
             self._sleep = None
             self._busy = False
-            busy = self._busy_signal
-            # Inlined busy.update(0, now): the 1 -> 0 edge accumulates the
+            # Inlined busy update(0, now): the 1 -> 0 edge accumulates the
             # partial service interval of area.
-            busy._area += now - busy._last_time
-            busy._last_time = now
-            busy._value = 0.0
-            if busy.min > 0.0:
-                busy.min = 0.0
+            self._b_area[index] += now - self._b_last[index]
+            self._b_last[index] = now
+            self._b_value[index] = 0.0
+            if self._b_min[index] > 0.0:
+                self._b_min[index] = 0.0
             unit = self._serving
             if self._lose_in_flight:
                 self._serving = None
@@ -351,28 +389,52 @@ class Node:
                 for entry in heap:
                     self._discard_lost(entry[3], now)
                 heap.clear()
-                self._queue_signal.increment(-count, now)
+                self._queue_increment(-count, now)
+        listener = self._outstanding_listener
+        if listener is not None:
+            listener(index)
 
     def recover(self) -> None:
         """Bring the node back up and resume or re-dispatch work."""
         self._up = True
         env = self.env
         now = env._now
+        index = self.index
         if self._frozen_left >= 0.0:
             left = self._frozen_left
             self._frozen_left = -1.0
             self._busy = True
-            busy = self._busy_signal
-            # Inlined busy.update(1, now): 0 -> 1 edge adds no area.
-            busy._last_time = now
-            busy._value = 1.0
-            if busy.max < 1.0:
-                busy.max = 1.0
+            # Inlined busy update(1, now): 0 -> 1 edge adds no area.
+            self._b_last[index] = now
+            self._b_value[index] = 1.0
+            if self._b_max[index] < 1.0:
+                self._b_max[index] = 1.0
             self._service_end = now + left
             self._sleep = env._sleep(left, self._on_complete)
         elif self._heap and not self._wake_pending:
             self._wake_pending = True
             env._urgent.append(self._wake_event)
+        listener = self._outstanding_listener
+        if listener is not None:
+            listener(index)
+
+    def _queue_increment(self, delta: float, now: float) -> None:
+        """Shift the queue-length signal by ``delta`` (cold paths).
+
+        Exact ``TimeWeighted.increment`` arithmetic against the flat
+        arrays; the hot loops inline this instead of calling it.
+        """
+        index = self.index
+        q_value = self._q_value
+        old = q_value[index]
+        self._q_area[index] += old * (now - self._q_last[index])
+        self._q_last[index] = now
+        value = old + delta
+        q_value[index] = value
+        if value < self._q_min[index]:
+            self._q_min[index] = value
+        if value > self._q_max[index]:
+            self._q_max[index] = value
 
     def _discard_lost(self, unit: WorkUnit, now: float) -> None:
         """Account a crash-discarded unit and release its waiters.
@@ -396,6 +458,9 @@ class Node:
         on_done = unit.on_done
         if on_done is not None:
             self.env._schedule_call(on_done, value=unit, priority=NORMAL)
+        elif done is None and unit.pool is not None:
+            # Fire-and-forget unit with no waiters: recycle.
+            unit.release()
 
     def __repr__(self) -> str:
         return (

@@ -128,19 +128,23 @@ class PreemptiveNode(Node):
         )
         env = self.env
         now = env._now
-        # Inlined self._queue_signal.increment(1, now): kernel time is
-        # monotone, and a +1 step can raise only the maximum.
-        signal = self._queue_signal
-        old = signal._value
-        signal._area += old * (now - signal._last_time)
-        signal._last_time = now
+        index = self.index
+        # Inlined queue increment(1, now) against the flat arrays: kernel
+        # time is monotone, and a +1 step can raise only the maximum.
+        q_value = self._q_value
+        old = q_value[index]
+        self._q_area[index] += old * (now - self._q_last[index])
+        self._q_last[index] = now
         value = old + 1.0
-        signal._value = value
-        if value > signal.max:
-            signal.max = value
+        q_value[index] = value
+        if value > self._q_max[index]:
+            self._q_max[index] = value
         metrics = self.metrics
         if metrics._tracer is not None:
-            metrics._tracer.record(now, "submit", unit, self.index)
+            metrics._tracer.record(now, "submit", unit, index)
+        listener = self._outstanding_listener
+        if listener is not None:
+            listener(index)
         if not self._busy:
             # Deferred dispatch, one NORMAL event: same-instant
             # submissions are scheduled as a batch, ordered by the policy.
@@ -201,21 +205,24 @@ class PreemptiveNode(Node):
         metrics = self.metrics
         tracer = metrics._tracer
         dispatched = metrics.node_dispatched
-        queue_signal = self._queue_signal
+        q_value = self._q_value
+        q_area = self._q_area
+        q_last = self._q_last
+        q_min = self._q_min
         abort_check = self._abort_check
         remaining = self._remaining
         while heap:
             unit = heappop(heap)[3]
             now = env._now
-            # Inlined queue_signal.increment(-1, now): a -1 step can lower
-            # only the minimum.
-            old = queue_signal._value
-            queue_signal._area += old * (now - queue_signal._last_time)
-            queue_signal._last_time = now
+            # Inlined queue increment(-1, now): a -1 step can lower only
+            # the minimum.
+            old = q_value[index]
+            q_area[index] += old * (now - q_last[index])
+            q_last[index] = now
             qlen = old - 1.0
-            queue_signal._value = qlen
-            if qlen < queue_signal.min:
-                queue_signal.min = qlen
+            q_value[index] = qlen
+            if qlen < q_min[index]:
+                q_min[index] = qlen
             dispatched[index] += 1
             timing = unit.timing
 
@@ -225,12 +232,18 @@ class PreemptiveNode(Node):
                 if tracer is not None:
                     tracer.record(now, "abort", unit, index)
                 metrics.record_unit_completion(unit, now)
+                listener = self._outstanding_listener
+                if listener is not None:
+                    listener(index)
                 done = unit._done
                 if done is not None:
                     done.succeed(unit)
                 on_done = unit.on_done
                 if on_done is not None:
                     env._schedule_call(on_done, value=unit, priority=NORMAL)
+                elif done is None and unit.pool is not None:
+                    # Fire-and-forget unit with no waiters: recycle.
+                    unit.release()
                 continue
 
             demand = remaining.get(unit.id, timing.ex)
@@ -238,13 +251,12 @@ class PreemptiveNode(Node):
                 timing.started_at = now
             self._busy = True
             self._serving = unit
-            busy = self._busy_signal
-            # Inlined busy.update(1, now): the 0 -> 1 edge adds no area
+            # Inlined busy update(1, now): the 0 -> 1 edge adds no area
             # (the signal was 0), so only the bookkeeping fields move.
-            busy._last_time = now
-            busy._value = 1.0
-            if busy.max < 1.0:
-                busy.max = 1.0
+            self._b_last[index] = now
+            self._b_value[index] = 1.0
+            if self._b_max[index] < 1.0:
+                self._b_max[index] = 1.0
             if tracer is not None:
                 tracer.record(now, "dispatch", unit, index)
             self._service_began = now
@@ -296,23 +308,25 @@ class PreemptiveNode(Node):
         left = self._service_demand - consumed
         self._remaining[unit.id] = left if left > 0.0 else 0.0
         self._busy = False
-        busy = self._busy_signal
-        # Inlined busy.update(0, now): the 1 -> 0 edge accumulates one
+        index = self.index
+        # Inlined busy update(0, now): the 1 -> 0 edge accumulates one
         # partial service interval of area (1.0 * dt == dt exactly).
-        busy._area += now - busy._last_time
-        busy._last_time = now
-        busy._value = 0.0
-        if busy.min > 0.0:
-            busy.min = 0.0
+        self._b_area[index] += now - self._b_last[index]
+        self._b_last[index] = now
+        self._b_value[index] = 0.0
+        if self._b_min[index] > 0.0:
+            self._b_min[index] = 0.0
         metrics = self.metrics
         if metrics._tracer is not None:
-            metrics._tracer.record(now, "preempt", unit, self.index)
+            metrics._tracer.record(now, "preempt", unit, index)
         # Put the preempted unit back; the newcomer (already queued by
         # submit) wins the re-dispatch.  Preemption is not the per-unit
         # hot path, so this takes the readable queue API rather than
-        # submit_nowait's inlined copy -- same arithmetic.
+        # submit_nowait's inlined copy -- same arithmetic.  The
+        # outstanding count is unchanged (busy -1, queue +1), so no
+        # listener notification is needed.
         self.queue.push(unit)
-        self._queue_signal.increment(1, now)
+        self._queue_increment(1, now)
         self._dispatch_next()
 
     def _complete(self, _event) -> None:
@@ -337,6 +351,7 @@ class PreemptiveNode(Node):
         """
         env = self.env
         now = env._now
+        index = self.index
         held = None
         if self._busy:
             self._sleep.cancel()
@@ -344,14 +359,13 @@ class PreemptiveNode(Node):
             unit = self._serving
             self._serving = None
             self._busy = False
-            busy = self._busy_signal
-            # Inlined busy.update(0, now): 1 -> 0 edge accumulates the
+            # Inlined busy update(0, now): 1 -> 0 edge accumulates the
             # partial service interval of area.
-            busy._area += now - busy._last_time
-            busy._last_time = now
-            busy._value = 0.0
-            if busy.min > 0.0:
-                busy.min = 0.0
+            self._b_area[index] += now - self._b_last[index]
+            self._b_last[index] = now
+            self._b_value[index] = 0.0
+            if self._b_min[index] > 0.0:
+                self._b_min[index] = 0.0
             if self._lose_in_flight:
                 self._remaining.pop(unit.id, None)
                 self._discard_lost(unit, now)
@@ -365,7 +379,13 @@ class PreemptiveNode(Node):
         Node.crash(self)  # _busy is False now: handles the queue drop only
         if held is not None:
             self.queue.push(held)
-            self._queue_signal.increment(1, now)
+            self._queue_increment(1, now)
+            # The base-class crash already notified the listener; notify
+            # again so the re-queued frozen unit is counted (the touch
+            # reconciles against current state, so the repeat is safe).
+            listener = self._outstanding_listener
+            if listener is not None:
+                listener(index)
 
     def recover(self) -> None:
         """Bring the node back up; queued work (including any frozen unit,
@@ -377,6 +397,9 @@ class PreemptiveNode(Node):
             heappush(
                 env._queue, (env._now, env._next_seq(), self._wake_event)
             )
+        listener = self._outstanding_listener
+        if listener is not None:
+            listener(self.index)
 
     def __repr__(self) -> str:
         return (

@@ -60,7 +60,7 @@ from ..core.timing import fast_timing
 from ..sim.core import NORMAL, Environment, Event
 from .metrics import MetricsCollector
 from .node import Node
-from .work import WorkUnit
+from .work import WorkUnit, acquire_unit
 
 _global_counter = itertools.count(1)
 
@@ -127,7 +127,15 @@ class _Continuation:
     __slots__ = ()
 
     def _on_unit(self, event: Event) -> None:
-        self.child_done(event._value.timing.aborted)
+        unit = event._value
+        aborted = unit.timing.aborted
+        # This frame is the single consumer of a pool-acquired subtask
+        # unit: recycle it now that the outcome is read.  ``_FAILED``
+        # (pool None) and units with a materialized ``done`` event
+        # (external joiners may still hold it) are left alone.
+        if unit.pool is not None and unit._done is None:
+            unit.release()
+        self.child_done(aborted)
 
 
 class _TaskRun(_Continuation):
@@ -339,6 +347,8 @@ class _FailedResult:
 
     timing = _Timing()
     lost = True
+    #: Never pooled: continuation frames check ``pool`` before recycling.
+    pool = None
 
     def __reduce__(self) -> str:
         # Pickle by global reference so a restored checkpoint keeps the
@@ -417,7 +427,7 @@ class _LeafAttempt:
             ar=env._now, ex=leaf.ex, pex=leaf.pex, dl=self.deadline
         )
         leaf.timing = timing
-        unit = WorkUnit(
+        unit = acquire_unit(
             env=env,
             name=leaf.name,
             task_class=TaskClass.GLOBAL,
@@ -438,13 +448,21 @@ class _LeafAttempt:
     def _unit_done(self, event: Event) -> None:
         unit = event._value
         if unit is not self.current:
-            return  # a timed-out attempt completing late: already retried
+            # A timed-out attempt completing late: already retried.  This
+            # shim is the orphaned unit's only consumer, so recycle here.
+            if unit.pool is not None and unit._done is None:
+                unit.release()
+            return
         self.current = None
         timer = self.timer
         if timer is not None:
             timer.cancel()
             self.timer = None
         if unit.lost:
+            # The lost unit never reaches the parent frame; recycle it
+            # before scheduling the retry.
+            if unit.pool is not None and unit._done is None:
+                unit.release()
             self._retry_or_fail()
             return
         self.parent_on_done(event)
@@ -612,7 +630,7 @@ class ProcessManager:
             dl=deadline,
         )
         leaf.timing = timing
-        unit = WorkUnit(
+        unit = acquire_unit(
             env=env,
             name=leaf.name,
             task_class=TaskClass.GLOBAL,

@@ -24,6 +24,61 @@ from ..sim.core import Environment, Event
 _unit_counter = itertools.count(1)
 
 
+class _Pooled:
+    """Sentinel stored in a recycled unit's ``_done`` slot.
+
+    Anything still holding a reference to a released unit and asking for
+    its completion event gets a hard error instead of silently attaching
+    to the slot's next tenant.
+    """
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - diagnostics only
+        return "<pooled>"
+
+
+_POOLED = _Pooled()
+
+
+class UnitPool:
+    """Free-list recycler for :class:`WorkUnit` (cf. ``_Sleep`` pooling).
+
+    At fleet scale every simulated task would otherwise allocate (and
+    collect) a fresh 13-slot object; the pool keeps released units on a
+    plain list and the workload sources re-stamp every slot on acquire.
+    ``in_use``/``high_water`` are diagnostics only (surfaced by
+    ``scenarios run --metrics-out``); they are approximate after a
+    checkpoint restore, where live units re-enter a fresh process-global
+    pool that never saw their acquisition.
+    """
+
+    __slots__ = ("free", "in_use", "high_water")
+
+    def __init__(self) -> None:
+        self.free: list = []
+        self.in_use = 0
+        self.high_water = 0
+
+    def __reduce__(self):
+        # Pickle by reference, like the ``_FAILED`` singleton: units in a
+        # checkpoint point at the restoring process's pool, and the free
+        # list itself is never serialized.
+        return "UNIT_POOL"
+
+    def __repr__(self) -> str:
+        return (
+            f"<UnitPool free={len(self.free)} in_use={self.in_use} "
+            f"high_water={self.high_water}>"
+        )
+
+
+#: The process-global unit pool.  Single simulation runs recycle through
+#: it; sweep workers each have their own (fork/spawn gives each process
+#: a fresh module global).
+UNIT_POOL = UnitPool()
+
+
 class WorkUnit:
     """One schedulable unit of work at one node."""
 
@@ -41,6 +96,7 @@ class WorkUnit:
         "stage",
         "natural_deadline",
         "lost",
+        "pool",
     )
 
     def __init__(
@@ -96,6 +152,9 @@ class WorkUnit:
         self.natural_deadline = (
             natural_deadline if natural_deadline is not None else timing.dl
         )
+        #: Owning :class:`UnitPool`, or ``None`` for hand-built units
+        #: (tests, blockers) that are never recycled.
+        self.pool = None
 
     @property
     def name(self) -> str:
@@ -120,6 +179,14 @@ class WorkUnit:
         current simulation time.
         """
         done = self._done
+        if done is _POOLED:
+            raise RuntimeError(
+                f"work unit {self.id} was recycled: its completion event "
+                "is gone, and this object may already be serving a new "
+                "task.  Hold the unit's outcome (timing/lost) before it "
+                "is released, or keep units out of the pool by building "
+                "them directly."
+            )
         if done is None:
             done = self._done = Event(self.env)
             timing = self.timing
@@ -132,8 +199,88 @@ class WorkUnit:
         """True for subtasks of global tasks (vs. locally generated work)."""
         return self.task_class is TaskClass.GLOBAL
 
+    def release(self) -> None:
+        """Return this unit to its pool (single owner only).
+
+        Callable only on pool-acquired units whose outcome nobody still
+        needs: the node loops release fire-and-forget units (no ``done``
+        event, no ``on_done``) right after recording their outcome, and
+        the process manager's continuation releases its subtask units
+        after consuming theirs.  The ``_done`` slot becomes the pooled
+        sentinel so a stale ``unit.done`` (or a double release) raises
+        instead of corrupting the next tenant.
+        """
+        if self._done is _POOLED:
+            raise RuntimeError(f"work unit {self.id} released twice")
+        pool = self.pool
+        self._done = _POOLED
+        self.on_done = None
+        # Drop the timing record and environment: the outcome was already
+        # copied into the metrics/trace layers, a stale reader failing
+        # loudly on None beats silently reading the next tenant's record,
+        # and a parked unit must not pin a finished run's object graph
+        # across in-process replications.
+        self.timing = None
+        self.env = None
+        pool.in_use -= 1
+        pool.free.append(self)
+
     def __repr__(self) -> str:
         return (
             f"<WorkUnit {self.name!r} class={self.task_class.value} "
             f"node={self.node_index} dl={self.timing.dl:.4g}>"
         )
+
+
+def acquire_unit(
+    env: Environment,
+    name: Optional[str],
+    task_class: TaskClass,
+    node_index: int,
+    timing: TimingRecord,
+    priority_class: int = PriorityClass.NORMAL,
+    global_id: Optional[int] = None,
+    stage: Optional[int] = None,
+    natural_deadline: Optional[float] = None,
+    on_done: Optional[Callable[[Event], None]] = None,
+) -> WorkUnit:
+    """Pool-recycling equivalent of ``WorkUnit(...)``.
+
+    Pops a released unit from :data:`UNIT_POOL` (or allocates on a dry
+    pool) and re-stamps every slot, so a recycled unit is
+    indistinguishable from a fresh one -- ids stay monotone via the
+    shared counter.  The workload sources inline this per-arrival; the
+    process manager calls it per subtask.
+    """
+    if timing.dl is None:
+        raise ValueError(
+            f"work unit {name!r} submitted without a deadline; the SDA "
+            "strategy must assign one before submission"
+        )
+    pool = UNIT_POOL
+    free = pool.free
+    if free:
+        unit = free.pop()
+    else:
+        unit = WorkUnit.__new__(WorkUnit)
+        unit.pool = pool
+    in_use = pool.in_use + 1
+    pool.in_use = in_use
+    if in_use > pool.high_water:
+        pool.high_water = in_use
+    unit.id = next(_unit_counter)
+    unit.env = env
+    unit._name = name
+    unit.task_class = task_class
+    unit.node_index = node_index
+    unit.timing = timing
+    unit.priority_class = priority_class
+    unit._done = None
+    unit.on_done = on_done
+    unit.lost = False
+    unit.global_id = global_id
+    unit.stage = stage
+    unit.natural_deadline = (
+        natural_deadline if natural_deadline is not None else timing.dl
+    )
+    return unit

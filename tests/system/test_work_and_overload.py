@@ -108,3 +108,86 @@ class TestRegistry:
     def test_unknown_raises(self):
         with pytest.raises(ValueError):
             get_overload_policy("panic")
+
+
+class TestUnitPool:
+    """The free-list recycling contract of ``acquire_unit``/``release``."""
+
+    def _acquire(self, env, dl=10.0):
+        from repro.system.work import acquire_unit
+
+        timing = TimingRecord(ar=0.0, ex=1.0, dl=dl)
+        return acquire_unit(
+            env=env, name=None, task_class=TaskClass.LOCAL, node_index=0,
+            timing=timing,
+        )
+
+    def test_acquire_requires_deadline(self, env):
+        from repro.system.work import acquire_unit
+
+        with pytest.raises(ValueError, match="without a deadline"):
+            acquire_unit(
+                env=env, name=None, task_class=TaskClass.LOCAL,
+                node_index=0, timing=TimingRecord(ar=0.0, ex=1.0),
+            )
+
+    def test_release_recycles_the_object(self, env):
+        first = self._acquire(env)
+        first.release()
+        second = self._acquire(env)
+        assert second is first  # LIFO free list hands the object back
+
+    def test_ids_stay_monotone_through_recycling(self, env):
+        unit = self._acquire(env)
+        first_id = unit.id
+        unit.release()
+        recycled = self._acquire(env)
+        assert recycled.id > first_id
+        assert make_unit(env).id > recycled.id  # shared counter
+
+    def test_done_after_release_raises(self, env):
+        unit = self._acquire(env)
+        unit.release()
+        with pytest.raises(RuntimeError, match="was recycled"):
+            unit.done
+
+    def test_double_release_raises(self, env):
+        unit = self._acquire(env)
+        unit.release()
+        with pytest.raises(RuntimeError, match="released twice"):
+            unit.release()
+
+    def test_release_drops_run_references(self, env):
+        unit = self._acquire(env)
+        unit.release()
+        assert unit.timing is None
+        assert unit.env is None
+        assert unit.on_done is None
+
+    def test_recycled_unit_is_fully_restamped(self, env):
+        stale = self._acquire(env)
+        stale.lost = True
+        stale.release()
+        fresh = self._acquire(env, dl=7.0)
+        assert fresh is stale
+        assert fresh.lost is False
+        assert fresh.timing.dl == 7.0
+        assert fresh.natural_deadline == 7.0
+        assert not fresh.done.triggered  # fresh lazy event, not _POOLED
+
+    def test_in_use_and_high_water_accounting(self, env):
+        from repro.system.work import UNIT_POOL
+
+        base_in_use = UNIT_POOL.in_use
+        units = [self._acquire(env) for _ in range(4)]
+        assert UNIT_POOL.in_use == base_in_use + 4
+        assert UNIT_POOL.high_water >= base_in_use + 4
+        high = UNIT_POOL.high_water
+        for unit in units:
+            unit.release()
+        assert UNIT_POOL.in_use == base_in_use
+        assert UNIT_POOL.high_water == high  # high-water never recedes
+
+    def test_hand_built_units_stay_out_of_the_pool(self, env):
+        unit = make_unit(env)
+        assert unit.pool is None
