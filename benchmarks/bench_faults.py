@@ -22,6 +22,14 @@ cancellation, queue surgery, recovery re-dispatch), and the
 (injector, live set, retry layer, failure-aware placement) in
 end-to-end context.
 
+**Detector cost** -- the failure-detection stack rides the same hot
+paths: ``disabled_detector_spec`` pins the no-op claim (a disabled
+``DetectorSpec`` wires nothing), ``detector_churn`` prices the full
+heartbeat/suspicion/misroute machinery end to end, and
+``python benchmarks/bench_faults.py ab-detector <ref>`` records the
+detector-off overhead against the pre-detector tree under
+``recorded["detector_off_overhead"]``.
+
 Results are merged into ``BENCH_faults.json`` at the repo root.
 """
 
@@ -33,6 +41,7 @@ from repro.core.task import TaskClass
 from repro.core.timing import TimingRecord
 from repro.sim.core import Environment
 from repro.system.config import baseline_config
+from repro.system.detector import DetectorSpec
 from repro.system.faults import FaultSpec
 from repro.system.metrics import MetricsCollector
 from repro.system.node import Node
@@ -57,6 +66,13 @@ _CHURN = FaultSpec(
 _LOSSY = FaultSpec(
     mttf=150.0, mttr=15.0, in_flight="lost", queued="dropped",
     retry_limit=3, retry_timeout=20.0, retry_backoff=0.5,
+)
+
+#: The lossy-heartbeats detector (cf. the library scenario): delayed,
+#: lossy channel over the steady-churn fault process.
+_DETECTOR = DetectorSpec(
+    kind="timeout", heartbeat_interval=2.0, timeout=6.0,
+    delay_mean=0.5, loss_probability=0.1,
 )
 
 
@@ -88,6 +104,25 @@ def run_lossy_retry_churn() -> int:
     """Lost/dropped crashes at high churn with a deep retry budget:
     every fault-path branch exercised at once."""
     result = simulate(baseline_config(seed=13, faults=_LOSSY, **_RUN))
+    return result.local.completed
+
+
+def run_disabled_detector() -> int:
+    """The fault-free baseline with a *disabled* DetectorSpec: must cost
+    the same as no spec at all (nothing is wired)."""
+    result = simulate(
+        baseline_config(seed=13, detector=DetectorSpec(), **_RUN)
+    )
+    return result.local.completed
+
+
+def run_detector_churn() -> int:
+    """Steady churn observed through the lossy-heartbeats channel: the
+    whole detector stack (heartbeat emitters, expiry timers, suspicion
+    routing, misroute bounces) in end-to-end context."""
+    result = simulate(
+        baseline_config(seed=13, faults=_CHURN, detector=_DETECTOR, **_RUN)
+    )
     return result.local.completed
 
 
@@ -165,6 +200,19 @@ def test_crash_recover_storm(benchmark):
     crashes = benchmark(run_crash_storm)
     record_faults_bench("crash_recover_storm", benchmark)
     assert crashes == 10_000
+
+
+def test_disabled_detector_spec(benchmark):
+    completed = benchmark(run_disabled_detector)
+    record_faults_bench("disabled_detector_spec", benchmark)
+    # Disabled-detector wiring is a no-op: bit-identical work/output.
+    assert completed == run_fault_free()
+
+
+def test_detector_churn(benchmark):
+    completed = benchmark(run_detector_churn)
+    record_faults_bench("detector_churn", benchmark)
+    assert completed > 1000
 
 
 # -- interleaved A/B overhead measurement ---------------------------------
@@ -268,7 +316,9 @@ def measure_ab_overhead(ref: str = "HEAD", rounds: int = 9) -> dict:
     }
 
 
-def record_ab_overhead(ref: str = "HEAD") -> dict:
+def _record_ab(key: str, ref: str) -> dict:
+    """Measure the working tree against ``ref`` and store the record
+    under ``recorded[key]`` of ``BENCH_faults.json``."""
     import json as _json
 
     record = measure_ab_overhead(ref)
@@ -278,11 +328,28 @@ def record_ab_overhead(ref: str = "HEAD") -> dict:
             data = _json.loads(BENCH_FAULTS_JSON.read_text())
         except ValueError:
             data = {}
-    data.setdefault("recorded", {})["fault_free_overhead"] = record
+    data.setdefault("recorded", {})[key] = record
     BENCH_FAULTS_JSON.write_text(
         _json.dumps(data, indent=2, sort_keys=True) + "\n"
     )
     return record
+
+
+def record_ab_overhead(ref: str = "HEAD") -> dict:
+    """Fault-free overhead vs. the pre-fault tree at ``ref``."""
+    return _record_ab("fault_free_overhead", ref)
+
+
+def record_detector_ab(ref: str = "HEAD") -> dict:
+    """Detector-off overhead vs. the pre-detector tree at ``ref``.
+
+    Same interleaved methodology: the driver's ``mm1_queue_cycle`` runs
+    a config with no detector, so the ratio is exactly what every
+    existing (oracle-mode) experiment pays for the detector hooks;
+    ``kernel_storm`` stays the noise floor.  Only meaningful when
+    ``ref`` predates the detector subsystem.
+    """
+    return _record_ab("detector_off_overhead", ref)
 
 
 if __name__ == "__main__":
@@ -292,5 +359,8 @@ if __name__ == "__main__":
     if len(_sys.argv) > 1 and _sys.argv[1] == "ab":
         ref = _sys.argv[2] if len(_sys.argv) > 2 else "HEAD"
         print(_json.dumps(record_ab_overhead(ref), indent=2))
+    elif len(_sys.argv) > 1 and _sys.argv[1] == "ab-detector":
+        ref = _sys.argv[2] if len(_sys.argv) > 2 else "HEAD"
+        print(_json.dumps(record_detector_ab(ref), indent=2))
     else:
         print(__doc__)

@@ -47,6 +47,7 @@ from .core.strategies import (
     parse_assigner,
 )
 from .system import (
+    DetectorSpec,
     FaultSpec,
     RunResult,
     Simulation,
@@ -61,6 +62,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "DeadlineAssigner",
+    "DetectorSpec",
     "DivX",
     "EffectiveDeadline",
     "EqualFlexibility",

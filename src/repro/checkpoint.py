@@ -42,7 +42,7 @@ import pickle
 import tempfile
 import time
 from dataclasses import dataclass
-from typing import Any, Dict, List, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from .sim.core import KERNEL
 
@@ -135,13 +135,17 @@ class JsonlAppender:
         return f"JsonlAppender({self.path!r}, {status}, written={self.written})"
 
 
-def read_jsonl(path: Any) -> List[Dict[str, Any]]:
+def read_jsonl(
+    path: Any, on_torn: Optional[Callable[[str], None]] = None
+) -> List[Dict[str, Any]]:
     """Read a :class:`JsonlAppender` file, tolerating a torn final line.
 
     A process killed mid-:meth:`~JsonlAppender.write` leaves at most one
     partial trailing line; parsing stops there and everything before it
     is returned.  (An unparsable line anywhere *else* means real
-    corruption and raises.)
+    corruption and raises.)  ``on_torn`` is called with a one-line
+    description when a torn tail was skipped, so callers can surface
+    the data loss instead of silently absorbing it.
     """
     path = os.fspath(path)
     records: List[Dict[str, Any]] = []
@@ -160,6 +164,11 @@ def read_jsonl(path: Any) -> List[Dict[str, Any]]:
                 records.append(json.loads(line))
             except ValueError as exc:
                 pending_error = exc  # torn tail if nothing follows
+    if pending_error is not None and on_torn is not None:
+        on_torn(
+            f"{path}: skipped torn final record (writer crashed "
+            f"mid-write: {pending_error})"
+        )
     return records
 
 

@@ -473,8 +473,11 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
 
 def _cmd_metrics(args: argparse.Namespace) -> int:
+    def warn_torn(message: str) -> None:
+        print(f"warning: {message}", file=sys.stderr)
+
     try:
-        records = read_metrics_series(args.path)
+        records = read_metrics_series(args.path, on_torn=warn_torn)
     except FileNotFoundError:
         print(f"error: {args.path}: no such metrics series", file=sys.stderr)
         return 2

@@ -141,6 +141,24 @@ class PointEstimate:
     #: Total retry resubmissions across replications (0 unless a
     #: retry-enabled fault spec is configured).
     retries: int = 0
+    #: Global tasks that exhausted their retry budget and failed
+    #: (``ClassStats.failed``; a subset of aborts), across replications.
+    failed: int = 0
+    #: Submits bounced off a crashed node by the failure detector's
+    #: misroute path (0 in oracle mode), across replications.
+    misroutes: int = 0
+    #: Detector suspicions of nodes that were actually up (0 in oracle
+    #: mode), across replications.
+    false_suspicions: int = 0
+    #: Crashes the detector never noticed before the node recovered
+    #: (0 in oracle mode), across replications.
+    missed_detections: int = 0
+    #: Crashes the detector did notice (0 in oracle mode), across
+    #: replications.
+    detections: int = 0
+    #: Mean crash-to-suspicion latency, weighted by each replication's
+    #: detection count; ``nan`` when nothing was detected.
+    detect_latency: float = math.nan
     #: Mean (over replications) of the global-class p99 lateness -- the
     #: tail the paper's mean-based measures hide.  ``nan`` when no
     #: replication completed a global task (P^2 sketches do not merge,
@@ -179,6 +197,12 @@ def _aggregate(
     crashes = 0
     lost = 0
     retries = 0
+    failed = 0
+    misroutes = 0
+    false_suspicions = 0
+    missed_detections = 0
+    detections = 0
+    latency_sum = 0.0
     p99_lates: List[float] = []
     for result in results:
         md_locals.append(result.md_local)
@@ -190,6 +214,13 @@ def _aggregate(
         crashes += result.total_crashes
         lost += result.total_lost
         retries += result.retries
+        failed += result.global_.failed
+        misroutes += result.misroutes
+        false_suspicions += result.false_suspicions
+        missed_detections += result.missed_detections
+        detections += result.detections
+        if result.detections:
+            latency_sum += result.detection_latency * result.detections
         p99 = result.global_.p99_lateness
         if not math.isnan(p99):
             p99_lates.append(p99)
@@ -204,6 +235,14 @@ def _aggregate(
         crashes=crashes,
         lost=lost,
         retries=retries,
+        failed=failed,
+        misroutes=misroutes,
+        false_suspicions=false_suspicions,
+        missed_detections=missed_detections,
+        detections=detections,
+        detect_latency=(
+            latency_sum / detections if detections else math.nan
+        ),
         p99_late=(
             sum(p99_lates) / len(p99_lates) if p99_lates else math.nan
         ),

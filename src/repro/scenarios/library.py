@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Tuple
 
+from ..system.detector import DetectorSpec
 from ..system.faults import FaultSpec
 from .spec import ArrivalSpec, PlacementSpec, ScenarioSpec, ServiceSpec
 
@@ -225,6 +226,109 @@ CHURN_PREEMPTIVE = ScenarioSpec(
     base={"preemptive": True},
 )
 
+#: Steady churn observed through a realistic heartbeat channel: delayed
+#: and lossy heartbeats mean the manager routes on *beliefs*, not ground
+#: truth -- detection lags crashes, a few live nodes are falsely
+#: suspected, and submits that race a crash bounce through the misroute
+#: path.
+LOSSY_HEARTBEATS = ScenarioSpec(
+    name="lossy-heartbeats",
+    description=(
+        "Steady churn (MTTF 400, MTTR 20) seen through a timeout "
+        "detector over delayed (mean 0.5), 10%-lossy heartbeat links."
+    ),
+    faults=FaultSpec(
+        mttf=400.0,
+        mttr=20.0,
+        in_flight="resume",
+        queued="preserved",
+        retry_limit=2,
+        retry_timeout=30.0,
+        retry_backoff=1.0,
+    ),
+    detector=DetectorSpec(
+        kind="timeout",
+        heartbeat_interval=2.0,
+        timeout=6.0,
+        delay_mean=0.5,
+        loss_probability=0.1,
+    ),
+)
+
+#: A sluggish detector against the same churn: the timeout is a sizable
+#: fraction of the MTTR, so many crashes are *never* detected before the
+#: node recovers (missed detections) and the manager keeps routing work
+#: at dead nodes (misroutes carry the cost).
+SLOW_DETECTOR_CHURN = ScenarioSpec(
+    name="slow-detector-churn",
+    description=(
+        "Steady churn under a sluggish detector (timeout 15 vs MTTR "
+        "20): missed detections and misrouted submits dominate."
+    ),
+    faults=FaultSpec(
+        mttf=400.0,
+        mttr=20.0,
+        in_flight="resume",
+        queued="preserved",
+        retry_limit=2,
+        retry_timeout=30.0,
+        retry_backoff=1.0,
+    ),
+    detector=DetectorSpec(
+        kind="timeout",
+        heartbeat_interval=3.0,
+        timeout=15.0,
+        delay_mean=1.0,
+        loss_probability=0.05,
+    ),
+)
+
+#: The pure false-positive regime: perfectly reliable nodes behind a
+#: twitchy phi-accrual detector on a 30%-lossy channel.  Every suspicion
+#: is false; the run measures what unwarranted drain-and-rehabilitate
+#: cycles cost when nothing is actually wrong.
+PARANOID_DETECTOR = ScenarioSpec(
+    name="paranoid-detector",
+    description=(
+        "No faults at all: a paranoid phi-accrual detector (threshold "
+        "1.5) over a 30%-lossy channel falsely suspects live nodes."
+    ),
+    detector=DetectorSpec(
+        kind="phi",
+        heartbeat_interval=2.0,
+        phi_threshold=1.5,
+        loss_probability=0.3,
+    ),
+)
+
+#: Observed churn on preemptive-resume servers: suspicion-driven routing
+#: interacting with mid-service revocation and remaining-demand
+#: bookkeeping.
+DETECTOR_PREEMPTIVE = ScenarioSpec(
+    name="detector-preemptive",
+    description=(
+        "Steady churn behind a timeout detector on preemptive-resume "
+        "servers."
+    ),
+    faults=FaultSpec(
+        mttf=400.0,
+        mttr=20.0,
+        in_flight="resume",
+        queued="preserved",
+        retry_limit=2,
+        retry_timeout=30.0,
+        retry_backoff=1.0,
+    ),
+    detector=DetectorSpec(
+        kind="timeout",
+        heartbeat_interval=2.0,
+        timeout=6.0,
+        delay_mean=0.5,
+        loss_probability=0.1,
+    ),
+    base={"preemptive": True},
+)
+
 #: Fleet scale: 10,000 nodes fed purely by the global stream (no local
 #: sources), exercising the array-backed node state, pooled work units,
 #: and O(log n) placement at fleet cardinality.  The load keeps the
@@ -285,6 +389,10 @@ LIBRARY: Tuple[ScenarioSpec, ...] = (
     OUTAGE_BURST,
     LOSSY_RECOVERY,
     CHURN_PREEMPTIVE,
+    LOSSY_HEARTBEATS,
+    SLOW_DETECTOR_CHURN,
+    PARANOID_DETECTOR,
+    DETECTOR_PREEMPTIVE,
     FLEET_UNIFORM,
     FLEET_SKEWED,
     FIRM_OVERLOAD,

@@ -94,22 +94,30 @@ class ScenarioSweepResult:
         nodes and replications (``PointEstimate.preemptions``): 0 for
         non-preemptive scenarios, and a direct preemption-pressure
         ranking signal for the ``preemptive-*`` family.  ``crash`` /
-        ``lost`` / ``retry`` are the fault-model counters (all 0 for
-        fault-free scenarios): crash events, crash-discarded work units,
-        and retry resubmissions across nodes and replications.
+        ``lost`` / ``retry`` / ``fail`` are the fault-model counters
+        (all 0 for fault-free scenarios): crash events, crash-discarded
+        work units, retry resubmissions, and global tasks that exhausted
+        their retry budget, across nodes and replications.
+        ``misroute`` / ``fp`` / ``fn`` / ``detect`` are the
+        failure-detection counters (all 0/- in oracle mode): submits
+        bounced off crashed nodes, false suspicions of live nodes,
+        crashes never detected before recovery, and the mean
+        crash-to-suspicion latency.
         ``p99_late`` is the mean-over-replications global p99 lateness
         (``PointEstimate.p99_late``) -- the tail the miss-ratio columns
         cannot show; ``-`` when no replication completed a global task.
         """
         headers = [
             "scenario", "rank", "strategy", "MD_global", "MD_local", "gap",
-            "p99_late", "preempt", "crash", "lost", "retry",
+            "p99_late", "preempt", "crash", "lost", "retry", "fail",
+            "misroute", "fp", "fn", "detect",
         ]
         rows: List[List[object]] = []
         for scenario in self.scenarios:
             for rank, cell in enumerate(self.ranking(scenario), start=1):
                 estimate = cell.estimate
                 p99_late = estimate.p99_late
+                detect = estimate.detect_latency
                 rows.append([
                     scenario if rank == 1 else "",
                     rank,
@@ -122,6 +130,11 @@ class ScenarioSweepResult:
                     estimate.crashes,
                     estimate.lost,
                     estimate.retries,
+                    estimate.failed,
+                    estimate.misroutes,
+                    estimate.false_suspicions,
+                    estimate.missed_detections,
+                    "-" if math.isnan(detect) else f"{detect:.2f}",
                 ])
         table = render_table(
             headers,

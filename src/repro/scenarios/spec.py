@@ -34,6 +34,7 @@ from dataclasses import dataclass, field, fields
 from typing import Dict, Mapping, Optional, Tuple
 
 from ..system.config import SystemConfig
+from ..system.detector import DetectorSpec
 from ..system.faults import FaultSpec
 
 #: SystemConfig field names, for validating base overrides.
@@ -46,7 +47,7 @@ _DIMENSION_FIELDS = {
     "service_model", "service_shape", "service_sigma",
     "placement", "placement_zipf_s",
     "node_speed_factors", "load_profile",
-    "faults", "overload_policy",
+    "faults", "detector", "overload_policy",
 }
 
 
@@ -140,6 +141,10 @@ class ScenarioSpec:
     #: see :mod:`repro.system.faults`).  ``None`` = perfectly reliable
     #: nodes (the paper's model).
     faults: Optional[FaultSpec] = None
+    #: Failure-detection dimension (heartbeats, suspicion, misroute
+    #: recovery; see :mod:`repro.system.detector`).  ``None`` = the
+    #: oracle liveness view.
+    detector: Optional[DetectorSpec] = None
     #: Overload-policy dimension: "no-abort" (the paper), "abort-tardy",
     #: or "abort-virtual" (see :mod:`repro.system.overload`).
     overload: str = "no-abort"
@@ -161,6 +166,10 @@ class ScenarioSpec:
         object.__setattr__(self, "base", base)
         if isinstance(self.faults, Mapping):
             object.__setattr__(self, "faults", FaultSpec.from_dict(self.faults))
+        if isinstance(self.detector, Mapping):
+            object.__setattr__(
+                self, "detector", DetectorSpec.from_dict(self.detector)
+            )
         object.__setattr__(
             self, "node_speed_factors", _tuplize(self.node_speed_factors)
         )
@@ -198,6 +207,7 @@ class ScenarioSpec:
         settings.update(self.service.config_fields())
         settings.update(self.placement.config_fields())
         settings["faults"] = self.faults
+        settings["detector"] = self.detector
         settings["overload_policy"] = self.overload
         settings["node_speed_factors"] = self.node_speed_factors
         settings["load_profile"] = self.load_profile
@@ -226,6 +236,9 @@ class ScenarioSpec:
             "service": dataclasses.asdict(self.service),
             "placement": dataclasses.asdict(self.placement),
             "faults": None if self.faults is None else self.faults.to_dict(),
+            "detector": (
+                None if self.detector is None else self.detector.to_dict()
+            ),
             "overload": self.overload,
             "node_speed_factors": listify(self.node_speed_factors),
             "load_profile": listify(self.load_profile),
@@ -238,6 +251,7 @@ class ScenarioSpec:
         speeds = data.get("node_speed_factors")
         profile = data.get("load_profile")
         faults = data.get("faults")
+        detector = data.get("detector")
         return cls(
             name=data["name"],
             description=data.get("description", ""),
@@ -245,6 +259,9 @@ class ScenarioSpec:
             service=ServiceSpec(**data.get("service", {})),
             placement=PlacementSpec(**data.get("placement", {})),
             faults=None if faults is None else FaultSpec.from_dict(faults),
+            detector=(
+                None if detector is None else DetectorSpec.from_dict(detector)
+            ),
             overload=data.get("overload", "no-abort"),
             node_speed_factors=(
                 None if speeds is None else _tuplize(speeds)
@@ -266,6 +283,8 @@ class ScenarioSpec:
             parts.append(f"placement={self.placement.model}")
         if self.faults is not None and self.faults.enabled:
             parts.append(self.faults.describe())
+        if self.detector is not None and self.detector.enabled:
+            parts.append(self.detector.describe())
         if self.overload != "no-abort":
             parts.append(f"overload={self.overload}")
         if self.node_speed_factors is not None:

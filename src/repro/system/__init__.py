@@ -12,6 +12,7 @@ from .config import (
     serial_parallel_config,
     verify_load_arithmetic,
 )
+from .detector import DetectorSpec, FailureDetector, SuspicionView
 from .faults import FaultInjector, FaultSpec, LiveSet
 from .metrics import ClassStats, MetricsCollector, NodeStats, RunResult
 from .node import Node
@@ -48,7 +49,9 @@ from .workload import (
 __all__ = [
     "AbortTardyAtDispatch",
     "ClassStats",
+    "DetectorSpec",
     "EarliestDeadlineFirst",
+    "FailureDetector",
     "FaultInjector",
     "FaultSpec",
     "FirstComeFirstServed",
@@ -77,6 +80,7 @@ __all__ = [
     "SerialChainFactory",
     "SerialParallelFactory",
     "Simulation",
+    "SuspicionView",
     "SystemConfig",
     "TraceEvent",
     "TraceLog",

@@ -47,6 +47,7 @@ from ..sim.distributions import (
     Uniform,
     exponential_interarrival,
 )
+from .detector import DetectorSpec
 from .faults import FaultSpec
 from .overload import OVERLOAD_POLICIES
 from .placement import PLACEMENT_POLICIES
@@ -179,6 +180,12 @@ class SystemConfig:
     #: ``None`` -- and any spec with ``mttf == 0`` -- wires nothing, so
     #: fault-free runs stay bit-identical to the pre-fault engine.
     faults: Optional[FaultSpec] = None
+    #: Optional failure-detection model (heartbeats over lossy/delayed
+    #: links feeding a timeout or phi-accrual detector; see
+    #: :mod:`repro.system.detector`).  ``None`` -- and any spec with
+    #: ``heartbeat_interval == 0`` -- wires nothing: placement and retry
+    #: keep consulting the oracle live set, bit-identical to before.
+    detector: Optional[DetectorSpec] = None
 
     # -- run control ----------------------------------------------------------
     #: Length of one run in simulated time units (the paper used 1e6).
@@ -321,6 +328,13 @@ class SystemConfig:
             raise ValueError(
                 f"faults must be a FaultSpec or None, got "
                 f"{type(self.faults).__name__}"
+            )
+        if self.detector is not None and not isinstance(
+            self.detector, DetectorSpec
+        ):
+            raise ValueError(
+                f"detector must be a DetectorSpec or None, got "
+                f"{type(self.detector).__name__}"
             )
         if self.load_profile is not None:
             if not self.load_profile:

@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from ..checkpoint import CheckpointError, JsonlAppender, read_jsonl
 from ..sim.core import KERNEL
@@ -148,13 +148,16 @@ class MetricsEmitter:
         self._appender.close()
 
 
-def read_metrics_series(path: Any) -> List[Dict[str, Any]]:
+def read_metrics_series(
+    path: Any, on_torn: Optional[Callable[[str], None]] = None
+) -> List[Dict[str, Any]]:
     """Load an emitted series, validating the header record.
 
-    Tolerates a torn trailing line (the writer crashed mid-record); an
-    invalid or missing header raises :class:`CheckpointError`.
+    Tolerates a torn trailing line (the writer crashed mid-record),
+    reporting it through ``on_torn`` when given; an invalid or missing
+    header raises :class:`CheckpointError`.
     """
-    records = read_jsonl(path)
+    records = read_jsonl(path, on_torn=on_torn)
     if not records or records[0].get("magic") != METRICS_MAGIC:
         raise CheckpointError(f"{path}: not a repro metrics series")
     version = records[0].get("version")

@@ -412,6 +412,11 @@ class FaultInjector:
         self.streams = streams
         self.metrics = metrics
         self.live = live_set
+        #: Optional :class:`~repro.system.detector.FailureDetector`
+        #: notified of true crash/recovery instants (accounting only:
+        #: detection latency and false-positive/negative attribution).
+        #: The simulation wires it when a detector is configured.
+        self.detector = None
         #: Lifetime crash/recovery event counts (diagnostics; the
         #: measured-window counters live in the metrics collector).
         self.crashes = 0
@@ -437,6 +442,7 @@ class FaultInjector:
         now = self.env._now
         count = len(clocks)
         radius = min(self.spec.blast_radius, count)
+        detector = self.detector
         for offset in range(radius):
             index = (origin + offset) % count
             if index not in live:
@@ -451,14 +457,19 @@ class FaultInjector:
             metrics.node_crashes[index] += 1
             metrics.node_down[index].update(1.0, now)
             self.nodes[index].crash()
+            if detector is not None:
+                detector.on_node_crash(index, now)
             clock.arm_repair()
 
     def _recover(self, index: int) -> None:
         live = self.live
+        now = self.env._now
         live.mark_up(index)
         self.recoveries += 1
-        self.metrics.node_down[index].update(0.0, self.env._now)
+        self.metrics.node_down[index].update(0.0, now)
         self.nodes[index].recover()
+        if self.detector is not None:
+            self.detector.on_node_recover(index, now)
         self._clocks[index].arm_failure()
 
     def __repr__(self) -> str:

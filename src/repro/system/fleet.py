@@ -36,9 +36,9 @@ class FleetState:
     """Owner of every per-node hot counter, as flat parallel lists.
 
     Three time-weighted signals per node (``busy``, ``queue``, ``down``)
-    plus four event counters (``dispatched``, ``preemptions``,
-    ``crashes``, ``lost``).  Nodes and the metrics collector view into
-    these lists; nothing copies them.
+    plus five event counters (``dispatched``, ``preemptions``,
+    ``crashes``, ``lost``, ``suspicions``).  Nodes and the metrics
+    collector view into these lists; nothing copies them.
     """
 
     __slots__ = (
@@ -49,7 +49,7 @@ class FleetState:
         "queue_min", "queue_max",
         "down_value", "down_area", "down_last", "down_start",
         "down_min", "down_max",
-        "dispatched", "preemptions", "crashes", "lost",
+        "dispatched", "preemptions", "crashes", "lost", "suspicions",
     )
 
     def __init__(self, node_count: int) -> None:
@@ -61,6 +61,7 @@ class FleetState:
         self.preemptions: List[int] = [0] * node_count
         self.crashes: List[int] = [0] * node_count
         self.lost: List[int] = [0] * node_count
+        self.suspicions: List[int] = [0] * node_count
 
     # -- warm-up -----------------------------------------------------------
 
@@ -94,6 +95,7 @@ class FleetState:
         self.preemptions[:] = [0] * n
         self.crashes[:] = [0] * n
         self.lost[:] = [0] * n
+        self.suspicions[:] = [0] * n
 
 
 class SignalView:

@@ -127,6 +127,9 @@ class NodeStats:
     #: Fraction of the measured window this node spent down (time-weighted
     #: mean of the 0/1 down signal; 0.0 in fault-free runs).
     downtime: float = 0.0
+    #: Times the failure detector marked this node suspected within the
+    #: measured window (0 unless a :class:`DetectorSpec` is enabled).
+    suspicions: int = 0
 
     def to_dict(self) -> Dict[str, Any]:
         return asdict(self)
@@ -144,6 +147,7 @@ class NodeStats:
             crashes=data.get("crashes", 0),
             lost=data.get("lost", 0),
             downtime=data.get("downtime", 0.0),
+            suspicions=data.get("suspicions", 0),
         )
 
 
@@ -158,6 +162,20 @@ class RunResult:
     #: Leaf resubmissions by the process manager's retry layer within the
     #: measured window (0 unless a retry-enabled :class:`FaultSpec` is set).
     retries: int = 0
+    #: Submits that reached a truly-crashed node and bounced through the
+    #: process manager's misroute path (0 unless a detector is enabled).
+    misroutes: int = 0
+    #: Detector suspicions of nodes that were actually up (false
+    #: positives of the failure detector).
+    false_suspicions: int = 0
+    #: True down intervals that ended without ever being suspected
+    #: (false negatives of the failure detector, counted at recovery).
+    missed_detections: int = 0
+    #: True crashes the detector suspected while the node was down.
+    detections: int = 0
+    #: Mean time from a true crash to its suspicion (``nan`` when no
+    #: detection carried a latency sample).
+    detection_latency: float = _NAN
     #: Aggregated node statistics, present on results loaded from records
     #: written with ``to_dict(aggregate_nodes=True)`` (fleet-size runs
     #: drop per-node detail from serialized forms).  ``None`` on results
@@ -250,6 +268,13 @@ class RunResult:
             return self.node_summary.get("lost", 0)
         return sum(n.lost for n in self.per_node)
 
+    @property
+    def total_suspicions(self) -> int:
+        """Detector suspicion events across all nodes in the window."""
+        if not self.per_node and self.node_summary:
+            return self.node_summary.get("suspicions", 0)
+        return sum(n.suspicions for n in self.per_node)
+
     @staticmethod
     def _summarize_nodes(per_node: List[NodeStats]) -> Dict[str, Any]:
         """Fold per-node detail into the bounded aggregate record."""
@@ -262,7 +287,7 @@ class RunResult:
         active_sum = 0.0
         queue_sum = 0.0
         downtime_sum = 0.0
-        dispatched = preemptions = crashes = lost = 0
+        dispatched = preemptions = crashes = lost = suspicions = 0
         for n in per_node:
             util = n.utilization
             util_sum += util
@@ -278,6 +303,7 @@ class RunResult:
             preemptions += n.preemptions
             crashes += n.crashes
             lost += n.lost
+            suspicions += n.suspicions
         return {
             "count": count,
             "utilization_mean": util_sum / count,
@@ -290,6 +316,7 @@ class RunResult:
             "preemptions": preemptions,
             "crashes": crashes,
             "lost": lost,
+            "suspicions": suspicions,
         }
 
     def to_dict(self, aggregate_nodes: bool = False) -> Dict[str, Any]:
@@ -318,6 +345,11 @@ class RunResult:
             },
             "per_node": per_node,
             "retries": self.retries,
+            "misroutes": self.misroutes,
+            "false_suspicions": self.false_suspicions,
+            "missed_detections": self.missed_detections,
+            "detections": self.detections,
+            "detection_latency": self.detection_latency,
         }
         summary = self.node_summary
         if aggregate_nodes and summary is None:
@@ -341,6 +373,11 @@ class RunResult:
                 NodeStats.from_dict(stats) for stats in data["per_node"]
             ],
             retries=data.get("retries", 0),
+            misroutes=data.get("misroutes", 0),
+            false_suspicions=data.get("false_suspicions", 0),
+            missed_detections=data.get("missed_detections", 0),
+            detections=data.get("detections", 0),
+            detection_latency=data.get("detection_latency", _NAN),
             node_summary=data.get("node_summary"),
         )
 
@@ -589,12 +626,23 @@ class MetricsCollector:
         #: Per-node crash-discarded unit counts (incremented by the nodes'
         #: ``_discard_lost``).
         self.node_lost: List[int] = self.fleet.lost
+        #: Per-node suspicion counts (incremented by the failure detector).
+        self.node_suspicions: List[int] = self.fleet.suspicions
         #: Per-node 0/1 down signal (1.0 while crashed); ``reset`` keeps
         #: the current value, so a node down across the warm-up boundary
         #: keeps accruing downtime in the measured window.
         self.node_down = SignalViews(self.fleet, "down")
         #: Leaf resubmissions by the process manager's retry layer.
         self.retries = 0
+        #: Misroute bounces by the process manager's detector path.
+        self.misroutes = 0
+        #: Failure-detector accounting (see :class:`RunResult`): false
+        #: positives, false negatives, detections, and the latency sum
+        #: behind the mean reported in snapshots.
+        self.false_suspicions = 0
+        self.missed_detections = 0
+        self.detections = 0
+        self.detection_latency_sum = 0.0
         self._warmup_end = 0.0
         self._tracer = None
         #: Optional :class:`WindowedSignals` (see :meth:`enable_windows`);
@@ -764,6 +812,11 @@ class MetricsCollector:
         # In place: node server loops hold references to these lists.
         self.fleet.reset_counters()
         self.retries = 0
+        self.misroutes = 0
+        self.false_suspicions = 0
+        self.missed_detections = 0
+        self.detections = 0
+        self.detection_latency_sum = 0.0
         self._warmup_end = now
         if self._window is not None:
             self._window.reset(now)
@@ -817,14 +870,24 @@ class MetricsCollector:
                 crashes=fleet.crashes[i],
                 lost=fleet.lost[i],
                 downtime=downtime,
+                suspicions=fleet.suspicions[i],
             ))
         per_class = {
             cls.value: acc.snapshot() for cls, acc in self._classes.items()
         }
+        detections = self.detections
         return RunResult(
             sim_time=now,
             warmup=self._warmup_end,
             per_class=per_class,
             per_node=per_node,
             retries=self.retries,
+            misroutes=self.misroutes,
+            false_suspicions=self.false_suspicions,
+            missed_detections=self.missed_detections,
+            detections=detections,
+            detection_latency=(
+                self.detection_latency_sum / detections if detections
+                else _NAN
+            ),
         )

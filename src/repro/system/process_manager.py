@@ -360,19 +360,29 @@ _FAILED = _FailedResult()
 
 
 class _LeafAttempt:
-    """Retry shim between one leaf and its continuation frame.
+    """Retry/misroute shim between one leaf and its continuation frame.
 
     Installed as the leaf's ``on_done`` target when the config carries a
-    retry-enabled :class:`~repro.system.faults.FaultSpec`.  Each attempt
+    retry-enabled :class:`~repro.system.faults.FaultSpec` and/or an
+    enabled :class:`~repro.system.detector.DetectorSpec`.  Each attempt
     is a fresh work unit; crash losses (``unit.lost``) and completion
     timeouts trigger resubmission to a live node after exponential
     backoff, up to ``retry_limit`` resubmissions, after which the run is
     latched as failed.  Overload-policy aborts pass through untouched --
     the policy judged the work useless, and retrying it would be a bug.
 
-    Routing draws ride the dedicated ``"retry-route"`` stream, so
-    retry-enabled runs perturb no other stream (and retry-free runs draw
-    nothing).
+    Misroute recovery (detector mode): placement routes on the
+    *observed* :class:`~repro.system.detector.SuspicionView`, so a
+    submit can target a node that is truly down but not yet suspected.
+    Such a submit bounces: after ``misroute_delay`` (the time it takes
+    the manager to notice the dead target) it re-routes to a trusted
+    node, at most ``max_redirects`` times per leaf -- after that the
+    unit queues at its dead target until recovery (or until the retry
+    timeout fires, when one is configured).
+
+    Routing draws ride dedicated streams (``"retry-route"`` for backoff
+    re-routes, ``"detector-route"`` for misroute bounces), so enabling
+    either layer perturbs no other stream (and plain runs draw nothing).
     """
 
     __slots__ = (
@@ -386,9 +396,11 @@ class _LeafAttempt:
         "current",
         "timer",
         "attempts",
+        "redirects",
         "on_unit",
         "_on_timeout",
         "_on_backoff",
+        "_on_bounce",
     )
 
     def __init__(
@@ -410,9 +422,11 @@ class _LeafAttempt:
         self.current: Optional[WorkUnit] = None
         self.timer = None
         self.attempts = 0
+        self.redirects = 0
         self.on_unit = self._unit_done
         self._on_timeout = self._timeout
         self._on_backoff = self._backoff
+        self._on_bounce = self._bounce
 
     def launch(self) -> None:
         self._dispatch(self.node_index)
@@ -421,6 +435,24 @@ class _LeafAttempt:
         """Submit one attempt (a fresh unit, same virtual deadline)."""
         manager = self.manager
         env = manager.env
+        detector = manager._detector
+        if (
+            detector is not None
+            and not manager.nodes[node_index]._up
+            and self.redirects < detector.max_redirects
+        ):
+            # Misroute: the observed view let a dead node through.  The
+            # manager notices after the detection/bounce delay and
+            # re-routes; the leaf remembers the target so an exhausted
+            # redirect budget degrades to queue-until-recovery there.
+            self.redirects += 1
+            manager.metrics.misroutes += 1
+            self.node_index = node_index
+            if detector.misroute_delay > 0.0:
+                env._sleep(detector.misroute_delay, self._on_bounce)
+            else:
+                self._bounce(None)
+            return
         leaf = self.leaf
         run = self.run
         timing = fast_timing(
@@ -440,10 +472,25 @@ class _LeafAttempt:
             on_done=self.on_unit,
         )
         self.current = unit
-        timeout = manager._retry.retry_timeout
-        if timeout > 0.0:
-            self.timer = env._sleep(timeout, self._on_timeout)
+        retry = manager._retry
+        if retry is not None and retry.retry_timeout > 0.0:
+            self.timer = env._sleep(retry.retry_timeout, self._on_timeout)
         manager.nodes[node_index].submit_nowait(unit)
+
+    def _bounce(self, _event) -> None:
+        """Bounce delay elapsed: re-route to a trusted node (or back to
+        the original target when the whole view is suspected)."""
+        manager = self.manager
+        view = manager._observed
+        node_index = self.node_index
+        if 0 < view.live_count < view.node_count:
+            indices = view.live_indices()
+            node_index = indices[
+                manager._detector_stream.randrange(len(indices))
+            ]
+        elif view.live_count == view.node_count:
+            node_index = manager._detector_stream.randrange(view.node_count)
+        self._dispatch(node_index)
 
     def _unit_done(self, event: Event) -> None:
         unit = event._value
@@ -458,9 +505,11 @@ class _LeafAttempt:
         if timer is not None:
             timer.cancel()
             self.timer = None
-        if unit.lost:
+        if unit.lost and self.manager._retry is not None:
             # The lost unit never reaches the parent frame; recycle it
-            # before scheduling the retry.
+            # before scheduling the retry.  (Without a retry layer --
+            # detector-only mode -- the loss passes through below as the
+            # abort it is.)
             if unit.pool is not None and unit._done is None:
                 unit.release()
             self._retry_or_fail()
@@ -524,6 +573,8 @@ class ProcessManager:
         fault_spec=None,
         live_set=None,
         retry_stream=None,
+        detector_spec=None,
+        detector_stream=None,
     ) -> None:
         self.env = env
         self.nodes = list(nodes)
@@ -535,6 +586,9 @@ class ProcessManager:
         self._parallel_deadline = assigner.parallel_deadline
         # Retry layer: armed only by a retry-enabled FaultSpec; the
         # fault-free (and retry-free) leaf path costs one None check.
+        # ``live_set`` is whatever liveness view the simulation routes
+        # on: the oracle LiveSet, or the detector's SuspicionView when
+        # a detector is configured (observed re-routing).
         if fault_spec is not None and fault_spec.retries_enabled:
             self._retry = fault_spec
             self._live = live_set
@@ -543,6 +597,15 @@ class ProcessManager:
             self._retry = None
             self._live = None
             self._retry_stream = None
+        # Misroute layer: armed only by an enabled DetectorSpec.
+        if detector_spec is not None and detector_spec.enabled:
+            self._detector = detector_spec
+            self._observed = live_set
+            self._detector_stream = detector_stream
+        else:
+            self._detector = None
+            self._observed = None
+            self._detector_stream = None
         #: Number of global tasks submitted so far (for tracing/tests).
         self.submitted = 0
 
@@ -619,7 +682,7 @@ class ProcessManager:
                 f"leaf {leaf.name!r} has no node assignment; the workload "
                 "factory must route every simple subtask"
             )
-        if self._retry is not None:
+        if self._retry is not None or self._detector is not None:
             _LeafAttempt(self, leaf, deadline, run, stage, on_done).launch()
             return
         env = self.env

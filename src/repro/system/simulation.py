@@ -22,6 +22,7 @@ from ..core.strategies import DeadlineAssigner, parse_assigner
 from ..sim.core import Environment
 from ..sim.rng import StreamFactory
 from .config import PARALLEL, SERIAL, SERIAL_PARALLEL, SystemConfig
+from .detector import FailureDetector, SuspicionView
 from .emission import EmissionPolicy, MetricsEmitter
 from .faults import FaultInjector, LiveSet
 from .metrics import MetricsCollector, RunResult
@@ -98,14 +99,39 @@ class Simulation:
             if fault_spec is not None and fault_spec.retries_enabled
             else None
         )
+        # Failure detection: an enabled spec replaces the manager-side
+        # *oracle* view with the detector's observed SuspicionView --
+        # placement, retry routing, and misroute recovery all consult
+        # beliefs instead of ground truth.  Anything else wires NOTHING
+        # (no streams, no timers, no view), so oracle-mode runs stay
+        # bit-identical to the pre-detector engine.
+        detector_cfg = config.detector
+        detector_spec = (
+            detector_cfg
+            if detector_cfg is not None and detector_cfg.enabled
+            else None
+        )
+        self.suspicion_view: Optional[SuspicionView] = (
+            SuspicionView(config.node_count)
+            if detector_spec is not None else None
+        )
+        self.failure_detector: Optional[FailureDetector] = None
         self.process_manager = ProcessManager(
             env=self.env,
             nodes=self.nodes,
             assigner=self.assigner,
             metrics=self.metrics,
             fault_spec=fault_spec,
-            live_set=self.live_set,
+            live_set=(
+                self.suspicion_view
+                if detector_spec is not None else self.live_set
+            ),
             retry_stream=retry_stream,
+            detector_spec=detector_spec,
+            detector_stream=(
+                self.streams.get("detector-route")
+                if detector_spec is not None else None
+            ),
         )
 
         estimator = config.make_estimator()
@@ -145,9 +171,14 @@ class Simulation:
                 profile=profile,
             )
 
-        if fault_spec is not None:
+        if fault_spec is not None or detector_spec is not None:
             if self.placement_policy is not None:
-                self.placement_policy.attach_live_set(self.live_set)
+                # Observed view when a detector runs, oracle otherwise.
+                self.placement_policy.attach_live_set(
+                    self.suspicion_view
+                    if detector_spec is not None else self.live_set
+                )
+        if fault_spec is not None:
             self.fault_injector = FaultInjector(
                 env=self.env,
                 nodes=self.nodes,
@@ -156,7 +187,21 @@ class Simulation:
                 metrics=self.metrics,
                 live_set=self.live_set,
             )
+        if detector_spec is not None:
+            self.failure_detector = FailureDetector(
+                env=self.env,
+                nodes=self.nodes,
+                spec=detector_spec,
+                streams=self.streams,
+                metrics=self.metrics,
+                view=self.suspicion_view,
+            )
+            if self.fault_injector is not None:
+                self.fault_injector.detector = self.failure_detector
+        if self.fault_injector is not None:
             self.fault_injector.start()
+        if self.failure_detector is not None:
+            self.failure_detector.start()
 
     def _make_placement(self) -> PlacementPolicy:
         """Build the configured subtask placement policy.

@@ -50,6 +50,26 @@ class TestJsonlAppender:
             handle.write('{"torn": tru')  # killed mid-write
         assert read_jsonl(path) == [{"a": 1}]
 
+    def test_torn_tail_reported_via_callback(self, tmp_path):
+        path = tmp_path / "records.jsonl"
+        appender = JsonlAppender(path)
+        appender.write({"a": 1})
+        appender.close()
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"torn": tru')  # killed mid-write
+        messages = []
+        assert read_jsonl(path, on_torn=messages.append) == [{"a": 1}]
+        assert len(messages) == 1
+        assert "torn final record" in messages[0]
+        # An intact file never fires the callback.
+        clean = tmp_path / "clean.jsonl"
+        appender = JsonlAppender(clean)
+        appender.write({"a": 1})
+        appender.close()
+        untouched = []
+        read_jsonl(clean, on_torn=untouched.append)
+        assert untouched == []
+
     def test_corruption_before_tail_raises(self, tmp_path):
         path = tmp_path / "records.jsonl"
         path.write_text('{"a": 1}\nnot json at all\n{"b": 2}\n')

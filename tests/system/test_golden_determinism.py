@@ -386,6 +386,44 @@ class TestFaultInjectionGolden:
         assert simulate(config) == lossy_result
 
 
+class TestDetectorOracleDefaultGolden:
+    """Detector-off configs must not move a single pinned bit.
+
+    The failure-detection subsystem only wires in when an *enabled*
+    ``DetectorSpec`` is configured; ``detector=None`` (every existing
+    config) and a disabled spec (``heartbeat_interval=0``) must both
+    reproduce the exact serial-baseline pins -- no streams, no events,
+    no drift.
+    """
+
+    def test_disabled_detector_spec_is_bit_identical(self, serial_result):
+        from repro.system.detector import DetectorSpec
+
+        config = baseline_config(
+            sim_time=SIM_TIME, warmup_time=WARMUP, seed=42,
+            detector=DetectorSpec(heartbeat_interval=0.0),
+        )
+        assert simulate(config) == serial_result
+
+    def test_disabled_detector_with_faults_is_bit_identical(self):
+        """The oracle fault path too: a disabled detector riding a
+        fault scenario must reproduce the steady-churn pins."""
+        from repro.scenarios import get_scenario
+        from repro.system.detector import DetectorSpec
+
+        config = get_scenario("steady-churn").to_config(
+            sim_time=SIM_TIME, warmup_time=WARMUP, seed=17, strategy="EQF",
+        ).with_(detector=DetectorSpec(heartbeat_interval=0.0))
+        result = simulate(config)
+        assert result.local.completed == 5042
+        assert result.global_.completed == 436
+        assert result.total_crashes == 34
+        assert result.retries == 2
+        assert [n.dispatched for n in result.per_node] == [
+            1159, 1109, 1193, 1126, 1102, 1100,
+        ]
+
+
 def _compiled_kernel_available() -> bool:
     """True when the optional compiled engine extension is built."""
     spec = importlib.util.find_spec("repro.sim._engine_c")

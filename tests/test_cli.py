@@ -310,6 +310,24 @@ class TestMetricsVerb:
         assert "seed=42" in out
         assert "final:" in out
 
+    def test_torn_final_record_warns_and_proceeds(self, capsys, tmp_path):
+        # A run killed mid-write leaves a partial trailing record; both
+        # verbs must still serve the intact prefix, with a stderr
+        # warning naming the skipped tail instead of silent loss.
+        path = self._write_series(tmp_path)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"type": "interval", "now": 9')  # torn
+        capsys.readouterr()
+        assert main(["metrics", "tail", path]) == 0
+        captured = capsys.readouterr()
+        assert "MD_global" in captured.out
+        assert "warning:" in captured.err
+        assert "torn final record" in captured.err
+        assert main(["metrics", "summarize", path]) == 0
+        captured = capsys.readouterr()
+        assert "final:" in captured.out
+        assert "torn final record" in captured.err
+
     def test_missing_file_fails_cleanly(self, capsys, tmp_path):
         assert main(
             ["metrics", "tail", str(tmp_path / "absent.jsonl")]
